@@ -1,0 +1,73 @@
+package affinityaccept
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	r := Simulate(RunConfig{
+		Machine:      AMD48(),
+		Cores:        2,
+		Listen:       AffinityAccept,
+		Server:       Lighttpd,
+		ConnsPerCore: 16,
+		WarmupS:      0.3,
+		MeasureS:     0.3,
+		Seed:         1,
+	})
+	if r.ReqPerSecPerCore <= 0 {
+		t.Fatal("no throughput")
+	}
+	if r.Stack.Stats.RequestsLocal != r.Stack.Stats.Requests {
+		t.Fatal("affinity-accept should process everything locally")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	res, err := RunExperiment("T1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "T1" || !strings.Contains(res.Render(), "AMD48") {
+		t.Fatal("table 1 render wrong")
+	}
+	if _, err := RunExperiment("bogus", Options{}); err == nil {
+		t.Fatal("bogus experiment should error")
+	}
+	if DescribeExperiment("T5") == "" {
+		t.Fatal("missing description")
+	}
+}
+
+func TestFacadeBalancer(t *testing.T) {
+	b := NewBalancer(BalancerConfig{Cores: 2, Backlog: 8})
+	if !b.Push(0, nil) {
+		t.Fatal("push failed")
+	}
+	_, from, ok := b.Pop(0)
+	if !ok || from != 0 {
+		t.Fatal("pop failed")
+	}
+	ft := NewFlowTable(64, 2)
+	if ft.Groups() != 64 {
+		t.Fatal("flow table wrong")
+	}
+	k := FlowKey{Proto: 6, SrcPort: 1234, DstPort: 80}
+	if k.Hash() == 0 {
+		t.Log("hash may legitimately be zero, just exercising the API")
+	}
+	if ft.CoreForPort(1234) < 0 || ft.CoreForPort(1234) > 1 {
+		t.Fatal("steering out of range")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if AMD48().Cores() != 48 || Intel80().Cores() != 80 {
+		t.Fatal("machine presets wrong")
+	}
+}

@@ -1,0 +1,26 @@
+// Loadbalance: demonstrate §6.5 — when a CPU-hungry job occupies half
+// the cores, connection stealing and flow-group migration keep client
+// latency bounded instead of letting accept queues overflow.
+package main
+
+import (
+	"fmt"
+
+	"affinityaccept"
+)
+
+func main() {
+	fmt.Println("Load balancer demo (paper §6.5, reduced scale)")
+	fmt.Println()
+	res, err := affinityaccept.RunExperiment("LB1", affinityaccept.Options{Quick: true, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Render())
+
+	res, err = affinityaccept.RunExperiment("LB2", affinityaccept.Options{Quick: true, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,264 @@
+// Package app models the two web servers the paper profiles.
+//
+// Apache runs in "worker" mode: per process, one thread accepts
+// connections and hands each to a worker thread that carries it to
+// completion. The paper pins one process per core so accept and worker
+// threads share a core, which is what lets Affinity-Accept help; the
+// unpinned variant reproduces the §4.2 observation that the scheduler
+// disperses worker threads and breaks connection affinity.
+//
+// Lighttpd is event-driven: several single-threaded processes per core,
+// each running an accept/read/write loop — naturally affine.
+package app
+
+import (
+	"affinityaccept/internal/sim"
+	"affinityaccept/internal/tcp"
+)
+
+// worker is one Apache worker thread.
+type worker struct {
+	thread *tcp.Thread
+	core   int
+	conn   *tcp.Conn
+	// waiting is true while the worker is blocked in read().
+	waiting bool
+}
+
+// acceptLoop is one core's accept thread.
+type acceptLoop struct {
+	thread *tcp.Thread
+	idle   bool
+	// kicked notes a wakeup arriving while the loop ran, so it loops
+	// again instead of sleeping (avoids lost wakeups).
+	kicked bool
+}
+
+// Apache is the worker-mode Apache model.
+type Apache struct {
+	stack *tcp.Stack
+	loops []*acceptLoop
+	pools [][]*worker // free workers per core
+
+	// Pinned keeps each worker on its process's core (the paper's tuned
+	// configuration). Unpinned scatters workers round-robin across all
+	// cores, as the stock scheduler does.
+	Pinned bool
+
+	nextWorkerCore int // round-robin for the unpinned mode
+	wakeCursor     int
+	workersCreated int
+
+	// UserWork overrides the per-request application cycles (zero =
+	// config default).
+	UserWork sim.Cycles
+}
+
+// NewApache builds the Apache model and registers it with the stack.
+func NewApache(s *tcp.Stack, pinned bool) *Apache {
+	n := len(s.Eng.Cores)
+	a := &Apache{
+		stack:  s,
+		loops:  make([]*acceptLoop, n),
+		pools:  make([][]*worker, n),
+		Pinned: pinned,
+	}
+	for i := range a.loops {
+		a.loops[i] = &acceptLoop{thread: s.NewThread(i), idle: true}
+	}
+	s.App = a
+	return a
+}
+
+// WorkersCreated reports how many worker threads were ever spawned;
+// recycling keeps this near peak concurrency, not total connections.
+func (a *Apache) WorkersCreated() int { return a.workersCreated }
+
+func (a *Apache) userWork() sim.Cycles {
+	if a.UserWork > 0 {
+		return a.UserWork
+	}
+	return a.stack.Cfg.Costs.ApacheUserWork
+}
+
+// ConnReady wakes an accept thread. Affinity-Accept passes the queue's
+// core and only that loop is woken; the other designs wake a herd.
+func (a *Apache) ConnReady(k *tcp.K, coreID int) {
+	e := k.Engine()
+	if coreID >= 0 {
+		if !a.wakeLocalOrRemote(k, coreID) {
+			// Everyone is awake and will drain queues on their own.
+		}
+		_ = e
+		return
+	}
+	// Stock/Fine: wake up to 1+Herd idle loops — the thundering herd.
+	herd := 1 + a.stack.Cfg.Costs.HerdWakeups
+	n := len(a.loops)
+	for i := 0; i < n && herd > 0; i++ {
+		idx := (a.wakeCursor + i) % n
+		if a.loops[idx].idle {
+			a.wakeLoop(k, idx)
+			herd--
+		}
+	}
+	a.wakeCursor = (a.wakeCursor + 1) % n
+}
+
+// wakeLocalOrRemote implements §3.3.1's wakeup policy: local waiter
+// first; only when the local core is overloaded (busy) is a waiter on a
+// non-busy remote core woken to come steal.
+func (a *Apache) wakeLocalOrRemote(k *tcp.K, coreID int) bool {
+	if a.loops[coreID].idle {
+		a.wakeLoop(k, coreID)
+		return true
+	}
+	a.loops[coreID].kicked = true
+	q := a.stack.Queues()
+	if !q.Busy(coreID) {
+		return false
+	}
+	n := len(a.loops)
+	for i := 1; i < n; i++ {
+		idx := (coreID + i) % n
+		if a.loops[idx].idle && !q.Busy(idx) {
+			a.wakeLoop(k, idx)
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Apache) wakeLoop(k *tcp.K, coreID int) {
+	l := a.loops[coreID]
+	l.idle = false
+	k.WakeThread(l.thread)
+	at := k.Core().Now()
+	if el := k.Engine().Cores[coreID].UserEligibleAt(); el > at {
+		at = el
+	}
+	k.Engine().OnCore(coreID, at, func(e *sim.Engine, c *sim.Core) {
+		a.runAcceptLoop(e, c)
+	})
+}
+
+// acceptTurnBatch bounds accepts per accept-thread turn, throttling how
+// far a CPU-starved core can pull work ahead of itself.
+const acceptTurnBatch = 8
+
+// runAcceptLoop is the accept thread's turn on its core: poll, accept a
+// bounded batch, dispatch workers, reschedule or go back to sleep.
+func (a *Apache) runAcceptLoop(e *sim.Engine, c *sim.Core) {
+	s := a.stack
+	l := a.loops[c.ID]
+	paceStart := c.Now()
+	l.kicked = false
+	s.ScheduleIn(c, l.thread)
+	s.PollWait(c, 1)
+	accepted := 0
+	for accepted < acceptTurnBatch {
+		conn := s.Accept(c)
+		if conn == nil {
+			break
+		}
+		accepted++
+		s.PostAcceptSetup(c, conn)
+		a.dispatch(e, c, conn)
+	}
+	eligible := c.DeferUser(paceStart)
+	if l.kicked || accepted == acceptTurnBatch {
+		e.OnCore(c.ID, eligible, func(e *sim.Engine, c *sim.Core) {
+			a.runAcceptLoop(e, c)
+		})
+		return
+	}
+	l.idle = true
+	s.ScheduleOut(c, l.thread)
+}
+
+// dispatch hands a fresh connection to a worker thread.
+func (a *Apache) dispatch(e *sim.Engine, c *sim.Core, conn *tcp.Conn) {
+	s := a.stack
+	wcore := c.ID
+	if !a.Pinned {
+		wcore = a.nextWorkerCore % len(a.loops)
+		a.nextWorkerCore++
+	}
+	var w *worker
+	if pool := a.pools[wcore]; len(pool) > 0 {
+		w = pool[len(pool)-1]
+		a.pools[wcore] = pool[:len(pool)-1]
+	} else {
+		w = &worker{thread: s.NewThread(wcore), core: wcore}
+		a.workersCreated++
+	}
+	w.conn = conn
+	w.waiting = false
+	conn.AppData = w
+	s.FutexWake(c, w.thread)
+	at := c.Now()
+	if el := e.Cores[wcore].UserEligibleAt(); el > at {
+		at = el
+	}
+	e.OnCore(wcore, at, func(e *sim.Engine, c *sim.Core) {
+		a.runWorker(e, c, w)
+	})
+}
+
+// runWorker is a worker thread's turn: serve every request available,
+// then block in read() or finish the connection.
+func (a *Apache) runWorker(e *sim.Engine, c *sim.Core, w *worker) {
+	s := a.stack
+	conn := w.conn
+	if conn == nil {
+		return
+	}
+	paceStart := c.Now()
+	defer c.DeferUser(paceStart)
+	s.ScheduleIn(c, w.thread)
+	s.FutexOp(c) // futex-wait return
+	for {
+		req, ok := s.Read(c, conn)
+		if !ok {
+			break
+		}
+		s.UserWork(c, a.userWork(), s.Cfg.Costs.UserColdApache)
+		s.Writev(c, conn, req.RespBytes)
+	}
+	if conn.PeerClosed() && !conn.Readable() {
+		s.CloseConn(c, conn)
+		conn.AppData = nil
+		w.conn = nil
+		a.pools[w.core] = append(a.pools[w.core], w)
+		s.ScheduleOut(c, w.thread)
+		return
+	}
+	w.waiting = true
+	s.ScheduleOut(c, w.thread)
+}
+
+// ConnReadable wakes the worker blocked on this connection.
+func (a *Apache) ConnReadable(k *tcp.K, conn *tcp.Conn) {
+	a.wakeWorker(k, conn)
+}
+
+// ConnClosed wakes the worker so it can tear the connection down.
+func (a *Apache) ConnClosed(k *tcp.K, conn *tcp.Conn) {
+	a.wakeWorker(k, conn)
+}
+
+func (a *Apache) wakeWorker(k *tcp.K, conn *tcp.Conn) {
+	w, _ := conn.AppData.(*worker)
+	if w == nil || !w.waiting {
+		return
+	}
+	w.waiting = false
+	k.WakeThread(w.thread)
+	at := k.Core().Now()
+	if el := k.Engine().Cores[w.core].UserEligibleAt(); el > at {
+		at = el
+	}
+	k.Engine().OnCore(w.core, at, func(e *sim.Engine, c *sim.Core) {
+		a.runWorker(e, c, w)
+	})
+}

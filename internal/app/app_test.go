@@ -1,0 +1,125 @@
+package app
+
+import (
+	"testing"
+
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/perfctr"
+	"affinityaccept/internal/tcp"
+	"affinityaccept/internal/workload"
+)
+
+func runServer(t *testing.T, build func(*tcp.Stack), cores int, seconds float64) *tcp.Stack {
+	t.Helper()
+	s := tcp.NewStack(tcp.Config{
+		Machine: mem.AMD48().WithCores(cores),
+		Listen:  tcp.AffinityAccept,
+		Seed:    2,
+	})
+	build(s)
+	g := workload.New(workload.Config{Stack: s, Connections: 8 * cores, Seed: 2})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(seconds))
+	return s
+}
+
+func TestApacheServesWorkload(t *testing.T) {
+	s := runServer(t, func(s *tcp.Stack) { NewApache(s, true) }, 4, 1.0)
+	if s.Stats.Requests == 0 {
+		t.Fatal("apache served nothing")
+	}
+	if s.Stats.ConnsClosed == 0 {
+		t.Fatal("no connections completed their lifecycle")
+	}
+	// Pinned apache keeps processing local under Affinity-Accept.
+	local := float64(s.Stats.RequestsLocal) / float64(s.Stats.Requests)
+	if local < 0.95 {
+		t.Fatalf("local fraction %.2f, want ~1.0 for pinned apache", local)
+	}
+}
+
+func TestApacheUnpinnedBreaksAffinity(t *testing.T) {
+	s := runServer(t, func(s *tcp.Stack) { NewApache(s, false) }, 4, 1.0)
+	if s.Stats.Requests == 0 {
+		t.Fatal("unpinned apache served nothing")
+	}
+	local := float64(s.Stats.RequestsLocal) / float64(s.Stats.Requests)
+	if local > 0.6 {
+		t.Fatalf("local fraction %.2f; scattering workers should break affinity", local)
+	}
+}
+
+func TestLighttpdServesWorkload(t *testing.T) {
+	s := runServer(t, NewLighttpdApp, 4, 1.0)
+	if s.Stats.Requests == 0 {
+		t.Fatal("lighttpd served nothing")
+	}
+	local := float64(s.Stats.RequestsLocal) / float64(s.Stats.Requests)
+	if local < 0.95 {
+		t.Fatalf("local fraction %.2f, want ~1.0 for event loops", local)
+	}
+	// Lighttpd performs no futex handoffs.
+	if s.Ctr.Get(perfctr.SysFutex).Calls != 0 {
+		t.Fatal("lighttpd charged futex operations")
+	}
+}
+
+// NewLighttpdApp adapts NewLighttpd to the test harness signature.
+func NewLighttpdApp(s *tcp.Stack) { NewLighttpd(s) }
+
+func TestLighttpdCheaperPerRequestThanApache(t *testing.T) {
+	ap := runServer(t, func(s *tcp.Stack) { NewApache(s, true) }, 2, 1.0)
+	lt := runServer(t, NewLighttpdApp, 2, 1.0)
+	perReq := func(s *tcp.Stack) float64 {
+		var busy uint64
+		for _, c := range s.Eng.Cores {
+			busy += uint64(c.BusyCycles())
+		}
+		return float64(busy) / float64(s.Stats.Requests)
+	}
+	if perReq(lt) >= perReq(ap) {
+		t.Fatalf("lighttpd %.0f cyc/req should be cheaper than apache %.0f (no futex/worker handoff)",
+			perReq(lt), perReq(ap))
+	}
+}
+
+func TestApacheWorkersRecycled(t *testing.T) {
+	s := tcp.NewStack(tcp.Config{
+		Machine: mem.AMD48().WithCores(2),
+		Listen:  tcp.AffinityAccept,
+		Seed:    2,
+	})
+	a := NewApache(s, true)
+	g := workload.New(workload.Config{Stack: s, Connections: 6, Seed: 2})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(1.5))
+	// Many connections completed but thread creation stays bounded by
+	// peak concurrency, not total connections.
+	if s.Stats.ConnsClosed < 20 {
+		t.Fatalf("too few connection lifecycles: %d", s.Stats.ConnsClosed)
+	}
+	if a.WorkersCreated() > 12 {
+		t.Fatalf("%d workers created for %d conns; recycling broken",
+			a.WorkersCreated(), s.Stats.ConnsClosed)
+	}
+}
+
+func TestPacedCoreDefersButServes(t *testing.T) {
+	s := tcp.NewStack(tcp.Config{
+		Machine: mem.AMD48().WithCores(2),
+		Listen:  tcp.AffinityAccept,
+		Seed:    2,
+	})
+	NewLighttpd(s)
+	// Core 1 is CPU-starved.
+	s.Eng.Cores[1].UserShare = 0.2
+	g := workload.New(workload.Config{Stack: s, Connections: 16, Seed: 2})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(1.5))
+	if s.Stats.Requests == 0 || g.Completed == 0 {
+		t.Fatal("starved machine served nothing")
+	}
+}

@@ -1,0 +1,40 @@
+package app
+
+import (
+	"testing"
+
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/perfctr"
+	"affinityaccept/internal/tcp"
+	"affinityaccept/internal/workload"
+)
+
+// TestStockHerdWakesMultipleLoops: under Stock/Fine the listen socket
+// has no per-core association, so new connections wake a herd of
+// pollers (the §4.1 thundering-herd behaviour); under Affinity only the
+// local loop wakes.
+func TestStockHerdWakesMultipleLoops(t *testing.T) {
+	run := func(kind tcp.ListenKind) uint64 {
+		s := tcp.NewStack(tcp.Config{
+			Machine: mem.AMD48().WithCores(6),
+			Listen:  kind,
+			Seed:    4,
+		})
+		NewLighttpd(s)
+		g := workload.New(workload.Config{Stack: s, Connections: 12, Seed: 4})
+		s.Start()
+		g.Start()
+		s.Eng.Run(s.Eng.CyclesOf(0.5))
+		if s.Stats.Requests == 0 {
+			t.Fatalf("%v: nothing served", kind)
+		}
+		// epoll_wait invocations per request proxy for wakeup volume.
+		return s.Ctr.Get(perfctr.SysEpollWait).Calls * 1000 / s.Stats.Requests
+	}
+	stockPolls := run(tcp.StockAccept)
+	affinityPolls := run(tcp.AffinityAccept)
+	if stockPolls <= affinityPolls {
+		t.Fatalf("herd effect missing: stock %d polls/1000req vs affinity %d",
+			stockPolls, affinityPolls)
+	}
+}

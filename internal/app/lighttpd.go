@@ -1,0 +1,205 @@
+package app
+
+import (
+	"affinityaccept/internal/sim"
+	"affinityaccept/internal/tcp"
+)
+
+// eventLoop is one core's lighttpd event loop. The paper runs ten
+// processes per core; one loop entity with a small thread set models
+// their combined behaviour (they share the core's timeline anyway).
+type eventLoop struct {
+	thread *tcp.Thread
+	idle   bool
+	kicked bool
+	ready  []*tcp.Conn
+}
+
+// lighttpdConn is the per-connection application state.
+type lighttpdConn struct {
+	queued bool // already on a loop's ready list
+}
+
+// Lighttpd is the event-driven server model.
+type Lighttpd struct {
+	stack      *tcp.Stack
+	loops      []*eventLoop
+	wakeCursor int
+
+	// UserWork overrides per-request application cycles (zero = default).
+	UserWork sim.Cycles
+}
+
+// NewLighttpd builds the lighttpd model and registers it with the stack.
+func NewLighttpd(s *tcp.Stack) *Lighttpd {
+	n := len(s.Eng.Cores)
+	l := &Lighttpd{stack: s, loops: make([]*eventLoop, n)}
+	for i := range l.loops {
+		l.loops[i] = &eventLoop{thread: s.NewThread(i), idle: true}
+	}
+	s.App = l
+	return l
+}
+
+func (l *Lighttpd) userWork() sim.Cycles {
+	if l.UserWork > 0 {
+		return l.UserWork
+	}
+	return l.stack.Cfg.Costs.LighttpdUserWork
+}
+
+// ConnReady wakes an event loop for a new connection.
+func (l *Lighttpd) ConnReady(k *tcp.K, coreID int) {
+	if coreID >= 0 {
+		l.wakeLocalOrRemote(k, coreID)
+		return
+	}
+	// Stock/Fine: thundering herd of pollers.
+	herd := 1 + l.stack.Cfg.Costs.HerdWakeups
+	n := len(l.loops)
+	for i := 0; i < n && herd > 0; i++ {
+		idx := (l.wakeCursor + i) % n
+		if l.loops[idx].idle {
+			l.wakeLoop(k, idx)
+			herd--
+		}
+	}
+	l.wakeCursor = (l.wakeCursor + 1) % n
+}
+
+func (l *Lighttpd) wakeLocalOrRemote(k *tcp.K, coreID int) {
+	if l.loops[coreID].idle {
+		l.wakeLoop(k, coreID)
+		return
+	}
+	l.loops[coreID].kicked = true
+	q := l.stack.Queues()
+	if !q.Busy(coreID) {
+		return
+	}
+	n := len(l.loops)
+	for i := 1; i < n; i++ {
+		idx := (coreID + i) % n
+		if l.loops[idx].idle && !q.Busy(idx) {
+			l.wakeLoop(k, idx)
+			return
+		}
+	}
+}
+
+func (l *Lighttpd) wakeLoop(k *tcp.K, coreID int) {
+	lp := l.loops[coreID]
+	lp.idle = false
+	k.WakeThread(lp.thread)
+	at := k.Core().Now()
+	if el := k.Engine().Cores[coreID].UserEligibleAt(); el > at {
+		at = el
+	}
+	k.Engine().OnCore(coreID, at, func(e *sim.Engine, c *sim.Core) {
+		l.runLoop(e, c)
+	})
+}
+
+// ConnReadable queues the connection on its owning core's ready list.
+func (l *Lighttpd) ConnReadable(k *tcp.K, conn *tcp.Conn) {
+	lc, _ := conn.AppData.(*lighttpdConn)
+	if lc == nil || lc.queued {
+		return
+	}
+	lc.queued = true
+	lp := l.loops[conn.AppCore]
+	lp.ready = append(lp.ready, conn)
+	if lp.idle {
+		l.wakeLoop(k, conn.AppCore)
+	} else {
+		lp.kicked = true
+	}
+}
+
+// ConnClosed treats the close like readiness: the loop notices
+// PeerClosed when it services the connection.
+func (l *Lighttpd) ConnClosed(k *tcp.K, conn *tcp.Conn) {
+	l.ConnReadable(k, conn)
+}
+
+// Bounded batch sizes per loop turn: a real event loop takes limited
+// bites, which also throttles how much work a slow (CPU-starved) core
+// can pull ahead of itself by stealing.
+const (
+	acceptBatch = 8
+	readyBatch  = 16
+)
+
+// runLoop is one scheduling turn of the event loop: epoll, accept a
+// bounded batch, service a bounded batch of ready connections, then
+// either reschedule itself (more work) or sleep. User-share pacing
+// stretches each turn on cores contended by CPU-bound jobs.
+func (l *Lighttpd) runLoop(e *sim.Engine, c *sim.Core) {
+	s := l.stack
+	lp := l.loops[c.ID]
+	paceStart := c.Now()
+	lp.kicked = false
+	s.ScheduleIn(c, lp.thread)
+	nReady := len(lp.ready) + 1
+	s.EpollWait(c, nReady)
+
+	// Accept a bounded batch for this core — but only while the loop is
+	// keeping up with its existing connections. Lighttpd caps open
+	// connections per process (the paper configures 200), which pushes
+	// backlog into the kernel accept queue where the busy watermarks
+	// (and hence stealing and migration) can see it.
+	accepted := 0
+	for accepted < acceptBatch && len(lp.ready) < 2*readyBatch {
+		conn := s.Accept(c)
+		if conn == nil {
+			break
+		}
+		accepted++
+		s.PostAcceptSetup(c, conn)
+		lc := &lighttpdConn{}
+		conn.AppData = lc
+		if conn.Readable() || conn.PeerClosed() {
+			lc.queued = true
+			lp.ready = append(lp.ready, conn)
+		}
+	}
+	moreAccepts := accepted == acceptBatch
+
+	// Service a bounded batch of ready connections.
+	n := len(lp.ready)
+	if n > readyBatch {
+		n = readyBatch
+	}
+	batch := lp.ready[:n]
+	rest := append([]*tcp.Conn(nil), lp.ready[n:]...)
+	lp.ready = rest
+	for _, conn := range batch {
+		lc, _ := conn.AppData.(*lighttpdConn)
+		if lc == nil {
+			continue
+		}
+		lc.queued = false
+		for {
+			req, ok := s.Read(c, conn)
+			if !ok {
+				break
+			}
+			s.UserWork(c, l.userWork(), s.Cfg.Costs.UserColdLighttpd)
+			s.Writev(c, conn, req.RespBytes)
+		}
+		if conn.PeerClosed() && !conn.Readable() {
+			s.CloseConn(c, conn)
+			conn.AppData = nil
+		}
+	}
+
+	eligible := c.DeferUser(paceStart)
+	if lp.kicked || len(lp.ready) > 0 || moreAccepts {
+		e.OnCore(c.ID, eligible, func(e *sim.Engine, c *sim.Core) {
+			l.runLoop(e, c)
+		})
+		return
+	}
+	lp.idle = true
+	s.ScheduleOut(c, lp.thread)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultFlowGroups is the paper's flow-group count: the NIC hashes the
+// low 12 bits of the source port, yielding 4,096 groups (§3.1).
+const DefaultFlowGroups = 4096
+
+// DefaultMigrateInterval is how often each non-busy core considers
+// migrating one flow group to itself (§3.3.2).
+const DefaultMigrateInterval = 100 * time.Millisecond
+
+// FlowTable maps flow groups to cores, mirroring the FDir hash table the
+// kernel programs into the NIC. Migrating a group re-points one entry.
+type FlowTable struct {
+	groupOf []int32 // group -> core
+	nCores  int
+	mask    uint32
+
+	// Migrations counts applied flow-group migrations.
+	Migrations uint64
+}
+
+// NewFlowTable builds a table of nGroups groups (rounded up to a power
+// of two) spread round-robin over cores, as the driver initializes FDir.
+func NewFlowTable(nGroups, cores int) *FlowTable {
+	if cores <= 0 {
+		panic("core: FlowTable needs at least one core")
+	}
+	size := 1
+	for size < nGroups {
+		size <<= 1
+	}
+	t := &FlowTable{
+		groupOf: make([]int32, size),
+		nCores:  cores,
+		mask:    uint32(size - 1),
+	}
+	for g := range t.groupOf {
+		t.groupOf[g] = int32(g % cores)
+	}
+	return t
+}
+
+// Groups reports the number of flow groups.
+func (t *FlowTable) Groups() int { return len(t.groupOf) }
+
+// GroupOf maps a source port to its flow group: the low bits of the
+// source port, per §3.1.
+func (t *FlowTable) GroupOf(srcPort uint16) int {
+	return int(uint32(srcPort) & t.mask)
+}
+
+// CoreOf reports which core (RX DMA ring) a group is steered to.
+func (t *FlowTable) CoreOf(group int) int { return int(t.groupOf[group]) }
+
+// CoreForPort composes GroupOf and CoreOf.
+func (t *FlowTable) CoreForPort(srcPort uint16) int {
+	return t.CoreOf(t.GroupOf(srcPort))
+}
+
+// Migrate re-points one flow group to a new core.
+func (t *FlowTable) Migrate(group, toCore int) {
+	if toCore < 0 || toCore >= t.nCores {
+		panic(fmt.Sprintf("core: migrate to invalid core %d", toCore))
+	}
+	if int(t.groupOf[group]) != toCore {
+		t.groupOf[group] = int32(toCore)
+		t.Migrations++
+	}
+}
+
+// GroupCount reports how many groups are currently steered to each core.
+func (t *FlowTable) GroupCount() []int {
+	counts := make([]int, t.nCores)
+	for _, c := range t.groupOf {
+		counts[c]++
+	}
+	return counts
+}
+
+// anyGroupOn returns some group currently steered to the core, or -1.
+func (t *FlowTable) anyGroupOn(core int) int {
+	for g, c := range t.groupOf {
+		if int(c) == core {
+			return g
+		}
+	}
+	return -1
+}
+
+// PickMigration implements the §3.3.2 policy for one non-busy core at
+// the end of a balancing interval: choose the victim core from which
+// `core` stole the most connections, and select one of the victim's flow
+// groups to migrate to `core`. It returns ok=false when the core stole
+// nothing, is itself the top victim, or the victim has no groups left.
+func (t *FlowTable) PickMigration(core int, stolenFrom []uint64) (group, victim int, ok bool) {
+	best, bestCount := -1, uint64(0)
+	for v, n := range stolenFrom {
+		if v == core || n == 0 {
+			continue
+		}
+		if n > bestCount {
+			best, bestCount = v, n
+		}
+	}
+	if best < 0 {
+		return 0, -1, false
+	}
+	g := t.anyGroupOn(best)
+	if g < 0 {
+		return 0, -1, false
+	}
+	return g, best, true
+}
+
+// Balance runs one full balancing tick: every non-busy core that stole
+// connections migrates one flow group from its top victim, then resets
+// its steal counters. It returns the number of migrations applied.
+// The simulator calls this every DefaultMigrateInterval; real deployments
+// would reprogram the NIC's FDir table here.
+//
+// The optional eligible predicate vetoes migration targets beyond the
+// busy check: a core whose CPU is consumed by unrelated work has an
+// empty accept queue (nothing reaches it) yet must not pull flow groups
+// to itself.
+func Balance[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) int {
+	applied := 0
+	for core := 0; core < q.Cores(); core++ {
+		q.maybeClearBusy(core)
+		if q.Busy(core) {
+			// Busy cores never migrate additional groups to themselves.
+			continue
+		}
+		if eligible != nil && !eligible(core) {
+			q.ResetSteals(core)
+			continue
+		}
+		if group, _, ok := t.PickMigration(core, q.cores[core].stolenFrom); ok {
+			t.Migrate(group, core)
+			applied++
+		}
+		q.ResetSteals(core)
+	}
+	return applied
+}

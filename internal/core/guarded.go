@@ -1,0 +1,60 @@
+package core
+
+import "sync"
+
+// Guarded wraps Queues with a single mutex for use from real concurrent
+// code (the examples/reuseport demo). The paper's kernel implementation
+// uses one lock per queue; a single mutex is enough for a user-space
+// demonstration where the queues are not the bottleneck, and it keeps
+// the policy code identical to the simulator's.
+type Guarded[T any] struct {
+	mu sync.Mutex
+	q  *Queues[T]
+}
+
+// NewGuarded creates mutex-protected accept queues.
+func NewGuarded[T any](cfg Config) *Guarded[T] {
+	return &Guarded[T]{q: NewQueues[T](cfg)}
+}
+
+// Push appends a connection to core's queue; false means overflow.
+func (g *Guarded[T]) Push(core int, v T) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Push(core, v)
+}
+
+// Pop accepts a connection on core, applying the stealing policy.
+func (g *Guarded[T]) Pop(core int) (T, int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Pop(core)
+}
+
+// Busy reports core's busy flag.
+func (g *Guarded[T]) Busy(core int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Busy(core)
+}
+
+// Len reports core's local queue length.
+func (g *Guarded[T]) Len(core int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Len(core)
+}
+
+// Balance runs one migration tick against a flow table.
+func (g *Guarded[T]) Balance(t *FlowTable) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Balance(t, g.q, nil)
+}
+
+// Stats returns (pushes, locals, steals, drops).
+func (g *Guarded[T]) Stats() (pushes, locals, steals, drops uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Pushes, g.q.Locals, g.q.Steals, g.q.Drops
+}

@@ -1,0 +1,45 @@
+package core
+
+// FlowKey is a TCP/IP five-tuple, the NIC's steering input.
+type FlowKey struct {
+	Proto            uint8
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+}
+
+// Hash computes a deterministic flow hash over the five-tuple, standing
+// in for the NIC's Toeplitz hash. All packets of one connection hash
+// identically, which is the only property steering relies on.
+func (k FlowKey) Hash() uint32 {
+	// FNV-1a over the packed tuple.
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime
+	}
+	mix(k.Proto)
+	for i := 0; i < 4; i++ {
+		mix(byte(k.SrcIP >> (8 * i)))
+		mix(byte(k.DstIP >> (8 * i)))
+	}
+	for i := 0; i < 2; i++ {
+		mix(byte(k.SrcPort >> (8 * i)))
+		mix(byte(k.DstPort >> (8 * i)))
+	}
+	return h
+}
+
+// Reverse returns the key of the opposite flow direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Proto:   k.Proto,
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"affinityaccept/internal/tcp"
+)
+
+// AblationRequestTable reproduces the §5.2 measurement: the shared,
+// bucket-locked request hash table costs at most ~2% versus per-core
+// request tables (which would break under flow-group migration).
+func AblationRequestTable(opt Options) *Table {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	shared := Run(RunConfig{
+		Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+		Seed: opt.Seed,
+	})
+	perCore := Run(RunConfig{
+		Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+		ReqTablePerCore: true,
+		// Per-core tables only work without migration moving flows.
+		MigrateEveryMS: -1,
+		Seed:           opt.Seed,
+	})
+	delta := 100 * (perCore.ReqPerSecPerCore - shared.ReqPerSecPerCore) / perCore.ReqPerSecPerCore
+	return &Table{
+		ExpID:  "A1",
+		Name:   "Request hash table design (§5.2)",
+		Header: []string{"Design", "req/s/core"},
+		Rows: [][]string{
+			{"shared, bucket-locked", f0(shared.ReqPerSecPerCore)},
+			{"per-core tables (no migration)", f0(perCore.ReqPerSecPerCore)},
+		},
+		Notes: []string{
+			fmt.Sprintf("shared table costs %.1f%% (paper: at most ~2%%)", delta),
+		},
+	}
+}
+
+// AblationStealRatio sweeps the proportional-share ratio of §3.3.1; the
+// paper reports overall performance is not significantly affected.
+func AblationStealRatio(opt Options) *Series {
+	ratios := []int{1, 2, 5, 10, 20}
+	if opt.Quick {
+		ratios = []int{1, 5, 20}
+	}
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	xs := make([]float64, len(ratios))
+	ys := make([]float64, len(ratios))
+	for i, ratio := range ratios {
+		xs[i] = float64(ratio)
+		r := Run(RunConfig{
+			Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+			StealRatio: ratio,
+			Seed:       opt.Seed + int64(ratio),
+		})
+		ys[i] = r.ReqPerSecPerCore
+	}
+	return &Series{
+		ExpID:  "A2",
+		Name:   "Local:remote proportional-share ratio sweep (§3.3.1)",
+		XLabel: "steal ratio",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  map[string][]float64{"Affinity-Accept": ys},
+		Order:  []string{"Affinity-Accept"},
+		Notes:  []string{"paper: performance not significantly affected by this ratio"},
+	}
+}
+
+// AblationApachePinning reproduces the §4.2 observation: without pinning,
+// Apache's worker threads scatter across cores and break connection
+// affinity even under Affinity-Accept.
+func AblationApachePinning(opt Options) *Table {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	pinned := Run(RunConfig{
+		Cores: cores, Listen: tcp.AffinityAccept, Server: Apache, Seed: opt.Seed,
+	})
+	unpinned := Run(RunConfig{
+		Cores: cores, Listen: tcp.AffinityAccept, Server: ApacheUnpinned, Seed: opt.Seed,
+	})
+	localPct := func(r RunResult) string {
+		if r.Stack.Stats.Requests == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%",
+			100*float64(r.Stack.Stats.RequestsLocal)/float64(r.Stack.Stats.Requests))
+	}
+	return &Table{
+		ExpID:  "A3",
+		Name:   "Apache worker pinning under Affinity-Accept (§4.2)",
+		Header: []string{"Configuration", "req/s/core", "local processing"},
+		Rows: [][]string{
+			{"workers pinned to accept core", f0(pinned.ReqPerSecPerCore), localPct(pinned)},
+			{"workers scattered (stock scheduler)", f0(unpinned.ReqPerSecPerCore), localPct(unpinned)},
+		},
+		Notes: []string{
+			"unpinned workers hand accepted connections to other cores, violating affinity",
+		},
+	}
+}
+
+// AblationFlowGroups sweeps the number of flow groups; good balance
+// requires many more groups than cores (§3.1).
+func AblationFlowGroups(opt Options) *Series {
+	groups := []int{48, 128, 512, 4096}
+	if opt.Quick {
+		groups = []int{64, 4096}
+	}
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	xs := make([]float64, len(groups))
+	ys := make([]float64, len(groups))
+	imbalance := make([]float64, len(groups))
+	for i, g := range groups {
+		xs[i] = float64(g)
+		r := Run(RunConfig{
+			Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+			FlowGroups: g,
+			Seed:       opt.Seed + int64(g),
+		})
+		ys[i] = r.ReqPerSecPerCore
+		counts := r.Stack.FlowTable().GroupCount()
+		min, max := counts[0], counts[0]
+		for _, n := range counts {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if min > 0 {
+			imbalance[i] = float64(max) / float64(min)
+		}
+	}
+	s := &Series{
+		ExpID:  "A4",
+		Name:   "Flow-group count sweep (§3.1)",
+		XLabel: "flow groups",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  map[string][]float64{"Affinity-Accept": ys},
+		Order:  []string{"Affinity-Accept"},
+	}
+	for i, g := range groups {
+		s.Notes = append(s.Notes,
+			fmt.Sprintf("%d groups: max/min groups per core = %.2f", g, imbalance[i]))
+	}
+	return s
+}
+
+// AblationWatermarks sweeps the busy watermarks of §3.3.1.
+func AblationWatermarks(opt Options) *Table {
+	type wm struct{ high, low float64 }
+	settings := []wm{{50, 5}, {75, 10}, {90, 25}}
+	if opt.Quick {
+		settings = []wm{{75, 10}}
+	}
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	rows := [][]string{}
+	for _, w := range settings {
+		r := Run(RunConfig{
+			Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+			HighPct: w.high, LowPct: w.low,
+			Seed: opt.Seed + int64(w.high),
+		})
+		rows = append(rows, []string{
+			fmt.Sprintf("high=%.0f%% low=%.0f%%", w.high, w.low),
+			f0(r.ReqPerSecPerCore),
+			d(r.Stack.Queues().Steals),
+			d(r.Stack.Stats.AcceptDrops + r.Stack.Stats.SynDrops),
+		})
+	}
+	return &Table{
+		ExpID:  "A5",
+		Name:   "Busy watermark sweep (§3.3.1)",
+		Header: []string{"Watermarks", "req/s/core", "steals", "drops"},
+		Rows:   rows,
+		Notes:  []string{"paper default: 75% high, 10% low of max local queue length"},
+	}
+}

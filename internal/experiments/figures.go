@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/tcp"
+)
+
+var threeKinds = []tcp.ListenKind{tcp.StockAccept, tcp.FineAccept, tcp.AffinityAccept}
+
+func kindNames(kinds []tcp.ListenKind) []string {
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// scalingFigure runs the core-count sweep behind Figures 2, 3, 5 and 6.
+func scalingFigure(id, title string, machine mem.Machine, server ServerKind, opt Options) *Series {
+	var steps []int
+	if opt.Quick {
+		steps = []int{1, machine.Cores() / 2, machine.Cores()}
+	} else if machine.Cores() > 48 {
+		steps = []int{1, 10, 20, 30, 40, 50, 60, 70, 80}
+	} else {
+		steps = []int{1, 4, 8, 12, 16, 24, 32, 40, 48}
+	}
+	xs := make([]float64, len(steps))
+	lines := map[string][]float64{}
+	for _, kind := range threeKinds {
+		ys := make([]float64, len(steps))
+		for i, cores := range steps {
+			xs[i] = float64(cores)
+			r := Run(RunConfig{
+				Machine: machine,
+				Cores:   cores,
+				Listen:  kind,
+				Server:  server,
+				Seed:    opt.Seed + int64(kind)*100 + int64(cores),
+			})
+			ys[i] = r.ReqPerSecPerCore
+		}
+		lines[kind.String()] = ys
+	}
+	return &Series{
+		ExpID:  id,
+		Name:   title,
+		XLabel: "cores",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  lines,
+		Order:  kindNames(threeKinds),
+	}
+}
+
+// Figure2 reproduces Figure 2: Apache scaling on the AMD machine.
+func Figure2(opt Options) *Series {
+	return scalingFigure("F2", "Apache throughput vs cores (AMD48)", mem.AMD48(), Apache, opt)
+}
+
+// Figure3 reproduces Figure 3: lighttpd scaling on the AMD machine.
+func Figure3(opt Options) *Series {
+	return scalingFigure("F3", "Lighttpd throughput vs cores (AMD48)", mem.AMD48(), Lighttpd, opt)
+}
+
+// Figure5 reproduces Figure 5: Apache scaling on the Intel machine.
+func Figure5(opt Options) *Series {
+	return scalingFigure("F5", "Apache throughput vs cores (Intel80)", mem.Intel80(), Apache, opt)
+}
+
+// Figure6 reproduces Figure 6: lighttpd scaling on the Intel machine.
+func Figure6(opt Options) *Series {
+	return scalingFigure("F6", "Lighttpd throughput vs cores (Intel80)", mem.Intel80(), Lighttpd, opt)
+}
+
+// reuseFigure sweeps requests-per-connection (Figures 7 and 10).
+func reuseFigure(id, title string, kinds []tcp.ListenKind, twenty bool, opt Options) *Series {
+	reuse := []int{1, 2, 6, 20, 100, 500, 1000}
+	if opt.Quick {
+		reuse = []int{1, 6, 100}
+	}
+	xs := make([]float64, len(reuse))
+	lines := map[string][]float64{}
+	order := kindNames(kinds)
+
+	runPoint := func(kind tcp.ListenKind, nicMode nic.Mode, n int) float64 {
+		r := Run(RunConfig{
+			Cores:       48,
+			Listen:      kind,
+			Server:      Apache,
+			ReqsPerConn: n,
+			// Shorter thinks keep long-reuse connections from needing
+			// enormous client populations; Figure 7 varies the accept
+			// rate, not the think structure.
+			ThinkMS: 5,
+			NICMode: nicMode,
+			Seed:    opt.Seed + int64(kind)*1000 + int64(n),
+		})
+		return r.ReqPerSecPerCore
+	}
+
+	for _, kind := range kinds {
+		ys := make([]float64, len(reuse))
+		for i, n := range reuse {
+			xs[i] = float64(n)
+			ys[i] = runPoint(kind, nic.ModeFlowGroups, n)
+		}
+		lines[kind.String()] = ys
+	}
+	if twenty {
+		name := "Twenty-Policy"
+		order = append(order, name)
+		ys := make([]float64, len(reuse))
+		for i, n := range reuse {
+			ys[i] = runPoint(tcp.StockAccept, nic.ModePerFlowFDir, n)
+		}
+		lines[name] = ys
+	}
+	return &Series{
+		ExpID:  id,
+		Name:   title,
+		XLabel: "reqs/conn",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  lines,
+		Order:  order,
+	}
+}
+
+// Figure7 reproduces Figure 7: the effect of TCP connection reuse.
+func Figure7(opt Options) *Series {
+	return reuseFigure("F7", "Connection reuse vs throughput (AMD48, Apache)", threeKinds, false, opt)
+}
+
+// Figure10 reproduces Figure 10: Figure 7 plus the Twenty-Policy driver
+// (stock Linux with per-flow FDir steering updated from the transmit
+// path).
+func Figure10(opt Options) *Series {
+	s := reuseFigure("F10", "Connection reuse incl. Twenty-Policy (AMD48, Apache)", threeKinds, true, opt)
+	s.Notes = append(s.Notes,
+		"Twenty-Policy: stock listen socket + FDir insert every 20th TX packet",
+		"FDir insert 10k cycles; table flush halts TX and drops RX (~62.5 us)")
+	return s
+}
+
+// Figure8 reproduces Figure 8: the effect of client think time.
+func Figure8(opt Options) *Series {
+	thinks := []float64{0.1, 1, 10, 100, 1000}
+	if opt.Quick {
+		thinks = []float64{1, 100}
+	}
+	xs := make([]float64, len(thinks))
+	lines := map[string][]float64{}
+	for _, kind := range threeKinds {
+		ys := make([]float64, len(thinks))
+		for i, th := range thinks {
+			xs[i] = th
+			r := Run(RunConfig{
+				Cores:   48,
+				Listen:  kind,
+				Server:  Apache,
+				ThinkMS: th,
+				// Long thinks need a window long enough to cover several
+				// think cycles.
+				WarmupS:  0.5 + 2.2*th/1000,
+				MeasureS: 0.4 + 2.2*th/1000,
+				Seed:     opt.Seed + int64(kind)*1000 + int64(th*10),
+			})
+			ys[i] = r.ReqPerSecPerCore
+		}
+		lines[kind.String()] = ys
+	}
+	return &Series{
+		ExpID:  "F8",
+		Name:   "Client think time vs throughput (AMD48, Apache)",
+		XLabel: "think ms",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  lines,
+		Order:  kindNames(threeKinds),
+		Notes: []string{
+			"long think times mean many concurrent connections; throughput should hold",
+		},
+	}
+}
+
+// Figure9 reproduces Figure 9: the effect of average file size, showing
+// NIC bandwidth saturation above ~1 KB.
+func Figure9(opt Options) *Series {
+	sizes := []int{10, 30, 100, 300, 700, 1000, 3000, 10000}
+	if opt.Quick {
+		sizes = []int{100, 700, 3000}
+	}
+	xs := make([]float64, len(sizes))
+	lines := map[string][]float64{}
+	gbits := make([]float64, len(sizes))
+	for _, kind := range threeKinds {
+		ys := make([]float64, len(sizes))
+		for i, sz := range sizes {
+			xs[i] = float64(sz)
+			r := Run(RunConfig{
+				Cores:         48,
+				Listen:        kind,
+				Server:        Apache,
+				MeanFileBytes: sz,
+				Seed:          opt.Seed + int64(kind)*1000 + int64(sz),
+			})
+			ys[i] = r.ReqPerSecPerCore
+			if kind == tcp.AffinityAccept {
+				gbits[i] = r.GbitsPerSec
+			}
+		}
+		lines[kind.String()] = ys
+	}
+	s := &Series{
+		ExpID:  "F9",
+		Name:   "Average file size vs throughput (AMD48, Apache)",
+		XLabel: "avg file bytes",
+		YLabel: "requests/sec/core",
+		X:      xs,
+		Lines:  lines,
+		Order:  kindNames(threeKinds),
+	}
+	for i, sz := range sizes {
+		s.Notes = append(s.Notes,
+			fmt.Sprintf("affinity wire rate at %dB: %.2f Gbit/s", sz, gbits[i]))
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one reproduced table or figure.
+type Runner func(Options) Result
+
+// registry maps experiment IDs to runners.
+var registry = map[string]struct {
+	Desc string
+	Run  Runner
+}{
+	"T1":  {"Table 1: memory hierarchy latencies", func(o Options) Result { return Table1(o) }},
+	"F2":  {"Figure 2: Apache scaling, AMD48", func(o Options) Result { return Figure2(o) }},
+	"F3":  {"Figure 3: lighttpd scaling, AMD48", func(o Options) Result { return Figure3(o) }},
+	"T2":  {"Table 2: request time composition under lock_stat", func(o Options) Result { return Table2(o) }},
+	"T3":  {"Table 3: perf counters by kernel entry", func(o Options) Result { return Table3(o) }},
+	"T4":  {"Table 4: DProf sharing by type", func(o Options) Result { return Table4(o) }},
+	"F4":  {"Figure 4: shared-access latency distribution", func(o Options) Result { return Figure4(o) }},
+	"F5":  {"Figure 5: Apache scaling, Intel80", func(o Options) Result { return Figure5(o) }},
+	"F6":  {"Figure 6: lighttpd scaling, Intel80", func(o Options) Result { return Figure6(o) }},
+	"LB1": {"§6.5: latency under CPU contention", func(o Options) Result { return BalancerLatency(o) }},
+	"LB2": {"§6.5: make runtime with/without migration", func(o Options) Result { return BalancerMakeTime(o) }},
+	"F7":  {"Figure 7: connection reuse sweep", func(o Options) Result { return Figure7(o) }},
+	"F8":  {"Figure 8: think time sweep", func(o Options) Result { return Figure8(o) }},
+	"F9":  {"Figure 9: file size sweep", func(o Options) Result { return Figure9(o) }},
+	"F10": {"Figure 10: Twenty-Policy", func(o Options) Result { return Figure10(o) }},
+	"T5":  {"Table 5: NIC feature comparison", func(o Options) Result { return Table5(o) }},
+	"A1":  {"Ablation: request-table design (§5.2)", func(o Options) Result { return AblationRequestTable(o) }},
+	"A2":  {"Ablation: steal ratio (§3.3.1)", func(o Options) Result { return AblationStealRatio(o) }},
+	"A3":  {"Ablation: Apache pinning (§4.2)", func(o Options) Result { return AblationApachePinning(o) }},
+	"A4":  {"Ablation: flow-group count (§3.1)", func(o Options) Result { return AblationFlowGroups(o) }},
+	"A5":  {"Ablation: busy watermarks (§3.3.1)", func(o Options) Result { return AblationWatermarks(o) }},
+	"X1":  {"Extension: software RFS comparison (§7.2)", func(o Options) Result { return ExtensionRFS(o) }},
+}
+
+// IDs lists all experiment identifiers in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string { return registry[id].Desc }
+
+// RunByID executes one experiment by identifier.
+func RunByID(id string, opt Options) (Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Run(opt), nil
+}

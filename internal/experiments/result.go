@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks sweeps and windows so benchmarks finish promptly;
+	// the full versions (CLI) use the paper's parameter ranges.
+	Quick bool
+	Seed  int64
+}
+
+// Result is a reproduced table or figure.
+type Result interface {
+	ID() string
+	Title() string
+	Render() string
+}
+
+// Series is a figure: one or more lines over a shared x axis.
+type Series struct {
+	ExpID  string
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Lines  map[string][]float64
+	Order  []string
+	Notes  []string
+}
+
+// ID implements Result.
+func (s *Series) ID() string { return s.ExpID }
+
+// Title implements Result.
+func (s *Series) Title() string { return s.Name }
+
+// Render prints the series as aligned columns.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", s.ExpID, s.Name)
+	fmt.Fprintf(&b, "%-14s", s.XLabel)
+	for _, name := range s.Order {
+		fmt.Fprintf(&b, " %18s", name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", s.YLabel)
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%-14.4g", x)
+		for _, name := range s.Order {
+			ys := s.Lines[name]
+			if i < len(ys) {
+				fmt.Fprintf(&b, " %18.1f", ys[i])
+			} else {
+				fmt.Fprintf(&b, " %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Table is a reproduced table.
+type Table struct {
+	ExpID  string
+	Name   string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// ID implements Result.
+func (t *Table) ID() string { return t.ExpID }
+
+// Title implements Result.
+func (t *Table) Title() string { return t.Name }
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ExpID, t.Name)
+	for i, h := range t.Header {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func d(v uint64) string   { return fmt.Sprintf("%d", v) }

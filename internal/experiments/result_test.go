@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"affinityaccept/internal/mem"
+)
+
+func amd() mem.Machine { return mem.AMD48() }
+
+func TestSeriesRenderHandlesRaggedLines(t *testing.T) {
+	s := &Series{
+		ExpID:  "TST",
+		Name:   "test",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{1, 2, 3},
+		Lines:  map[string][]float64{"a": {10, 20, 30}, "b": {5}},
+		Order:  []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	out := s.Render()
+	if !strings.Contains(out, "TST — test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("short line should render placeholders")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("missing note")
+	}
+	if s.ID() != "TST" || s.Title() != "test" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTableRenderAligns(t *testing.T) {
+	tab := &Table{
+		ExpID:  "TT",
+		Name:   "table",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"longer-cell", "x"}, {"s", "y"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.Render()
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("short render: %q", out)
+	}
+	// The header and first column must be padded to the widest cell.
+	if !strings.HasPrefix(lines[1], "a          ") {
+		t.Fatalf("header not padded: %q", lines[1])
+	}
+	if tab.ID() != "TT" || tab.Title() != "table" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTrimMachine(t *testing.T) {
+	m := trimMachine(amd(), 4)
+	if m.Cores() != 4 {
+		t.Fatalf("trim to 4 gave %d cores", m.Cores())
+	}
+	m = trimMachine(amd(), 18)
+	if m.Cores() < 18 || m.Cores() > 24 {
+		t.Fatalf("trim to 18 gave %d cores (whole chips)", m.Cores())
+	}
+}
+
+func TestRunResultMicros(t *testing.T) {
+	r := Run(RunConfig{Cores: 1, ConnsPerCore: 8, WarmupS: 0.2, MeasureS: 0.2, Seed: 5})
+	if us := r.MicrosPerReq(2400); us < 0.99 || us > 1.01 {
+		t.Fatalf("2400 cycles = %v us at 2.4 GHz, want 1", us)
+	}
+	if r.ConnsPerCore != 8 {
+		t.Fatal("explicit concurrency not recorded")
+	}
+}

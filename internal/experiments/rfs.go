@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"affinityaccept/internal/tcp"
+)
+
+// ExtensionRFS compares software Receive Flow Steering against the
+// paper's designs (§7.2): RFS restores connection locality for
+// established-flow processing but pays a routing step on every packet
+// and frees packet buffers remotely, so it lands between Stock-Accept
+// and Affinity-Accept — "routing in software does not perform as well
+// as in hardware".
+func ExtensionRFS(opt Options) *Table {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	type cfg struct {
+		name string
+		rc   RunConfig
+	}
+	cases := []cfg{
+		{"Stock-Accept", RunConfig{Cores: cores, Listen: tcp.StockAccept, Server: Apache, Seed: opt.Seed}},
+		{"Stock-Accept + software RFS", RunConfig{Cores: cores, Listen: tcp.StockAccept, Server: Apache, SoftwareRFS: true, Seed: opt.Seed}},
+		{"Fine-Accept + software RFS", RunConfig{Cores: cores, Listen: tcp.FineAccept, Server: Apache, SoftwareRFS: true, Seed: opt.Seed}},
+		{"Affinity-Accept", RunConfig{Cores: cores, Listen: tcp.AffinityAccept, Server: Apache, Seed: opt.Seed}},
+	}
+	rows := [][]string{}
+	for _, c := range cases {
+		r := Run(c.rc)
+		st := r.Stack.Stats
+		local := 0.0
+		if st.Requests > 0 {
+			local = 100 * float64(st.RequestsLocal) / float64(st.Requests)
+		}
+		perReq := "-"
+		if st.Requests > 0 {
+			var busy uint64
+			for _, co := range r.Stack.Eng.Cores {
+				busy += uint64(co.BusyCycles())
+			}
+			perReq = fmt.Sprintf("%.0f", float64(busy)/float64(st.Requests))
+		}
+		rows = append(rows, []string{
+			c.name,
+			f0(r.ReqPerSecPerCore),
+			fmt.Sprintf("%.0f%%", local),
+			d(st.RFSRouted),
+			perReq,
+		})
+	}
+	return &Table{
+		ExpID:  "X1",
+		Name:   "Software Receive Flow Steering vs hardware steering (§7.2)",
+		Header: []string{"Configuration", "req/s/core", "local processing", "routed pkts", "busy cyc/req"},
+		Rows:   rows,
+		Notes: []string{
+			"RFS routes in software: per-packet routing CPU plus remote packet-buffer frees",
+			"paper: \"routing in software does not perform as well as in hardware\"",
+		},
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/perfctr"
+	"affinityaccept/internal/tcp"
+)
+
+// Table1 reproduces the paper's Table 1: access times to each level of
+// the memory hierarchy on both machines. In the simulator these are the
+// configured model inputs; printing them documents the calibration.
+func Table1(Options) *Table {
+	rows := [][]string{}
+	for _, m := range []mem.Machine{mem.AMD48(), mem.Intel80()} {
+		l := m.Lat
+		rows = append(rows, []string{
+			m.Name,
+			d(uint64(l.L1)), d(uint64(l.L2)), d(uint64(l.L3)), d(uint64(l.RAM)),
+			d(uint64(l.RemoteL3)), d(uint64(l.RemoteRAM)),
+		})
+	}
+	return &Table{
+		ExpID:  "T1",
+		Name:   "Memory hierarchy access times (cycles)",
+		Header: []string{"Machine", "L1", "L2", "L3", "RAM", "RemoteL3", "RemoteRAM"},
+		Rows:   rows,
+		Notes: []string{
+			"model inputs taken verbatim from the paper's Table 1",
+		},
+	}
+}
+
+// Table2 reproduces Table 2: the composition of per-request time with a
+// lock_stat kernel at full core count, for the three listen sockets.
+func Table2(opt Options) *Table {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	rows := [][]string{}
+	for _, kind := range []tcp.ListenKind{tcp.StockAccept, tcp.FineAccept, tcp.AffinityAccept} {
+		r := Run(RunConfig{
+			Cores:    cores,
+			Listen:   kind,
+			Server:   Apache,
+			LockStat: true,
+			Seed:     opt.Seed + int64(kind),
+		})
+		us := func(cyc float64) string { return fmt.Sprintf("%.0f", r.MicrosPerReq(cyc)) }
+		other := r.TotalPerReq - r.IdlePerReq - r.LockSpinWait - r.LockHold
+		rows = append(rows, []string{
+			kind.String(),
+			f0(r.ReqPerSecPerCore),
+			us(r.TotalPerReq),
+			us(r.IdlePerReq),
+			us(r.LockSpinWait),
+			us(r.LockHold),
+			us(other),
+		})
+	}
+	return &Table{
+		ExpID: "T2",
+		Name:  fmt.Sprintf("Per-request time composition, Apache, %d cores, lock_stat kernel", cores),
+		Header: []string{"Listen Socket", "req/s/core", "Total us", "Idle us",
+			"LockSpinWait us", "LockHold us", "Other us"},
+		Rows: rows,
+		Notes: []string{
+			"idle includes mutex-mode lock wait, as in the paper",
+			"lock columns cover the listen-socket lock (clone + request-table locks for the partitioned designs)",
+		},
+	}
+}
+
+// Table3 reproduces Table 3: performance counters by kernel entry point,
+// per HTTP request, for Fine-Accept vs Affinity-Accept.
+func Table3(opt Options) *Table {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	fine := Run(RunConfig{Cores: cores, Listen: tcp.FineAccept, Server: Apache, Seed: opt.Seed})
+	aff := Run(RunConfig{Cores: cores, Listen: tcp.AffinityAccept, Server: Apache, Seed: opt.Seed})
+	rows3 := perfctr.BuildTable3(fine.Stack.Ctr, aff.Stack.Ctr,
+		fine.Stack.Stats.Requests, aff.Stack.Stats.Requests)
+
+	rows := [][]string{}
+	for _, r := range rows3 {
+		if r.FineCycles == 0 && r.AffinityCycles == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			r.Entry.String(),
+			fmt.Sprintf("%d / %d", r.FineCycles, r.AffinityCycles),
+			fmt.Sprintf("%d", r.DeltaCycles()),
+			fmt.Sprintf("%d / %d", r.FineInstructions, r.AffinityInstructions),
+			fmt.Sprintf("%d", r.DeltaInstructions()),
+			fmt.Sprintf("%d / %d", r.FineL2Misses, r.AffinityL2Misses),
+			fmt.Sprintf("%d", r.DeltaL2()),
+		})
+	}
+	return &Table{
+		ExpID: "T3",
+		Name:  fmt.Sprintf("Performance counters by kernel entry (Fine / Affinity, per request, %d cores)", cores),
+		Header: []string{"Kernel Entry", "Cycles F/A", "dCyc",
+			"Instr F/A", "dInstr", "L2Miss F/A", "dL2"},
+		Rows: rows,
+	}
+}
+
+// table4Types lists the object types DProf reports in Table 4.
+var table4Types = []string{
+	"tcp_sock", "sk_buff", "tcp_request_sock", "slab:size-16384",
+	"slab:size-128", "slab:size-1024", "slab:size-4096", "socket_fd",
+	"slab:size-192", "task_struct", "file",
+}
+
+// table4Runs performs the paper's two-pass DProf methodology: profile
+// Fine-Accept, then instrument the same (formerly shared) fields under
+// Affinity-Accept.
+func table4Runs(opt Options) (fine, aff RunResult) {
+	cores := 48
+	if opt.Quick {
+		cores = 12
+	}
+	fine = Run(RunConfig{
+		Cores: cores, Listen: tcp.FineAccept, Server: Apache,
+		Profiling: true, Seed: opt.Seed,
+		ConnsPerCore: 96, // fixed load: profiling changes speed, not shape
+	})
+	fine.Stack.HarvestProfiles()
+
+	// DProf methodology (§6.4): instrument, under Affinity-Accept, the
+	// exact set of fields that were shared under Fine-Accept, so the
+	// measurement captures "the time to access data that is no longer
+	// shared".
+	shared := fine.Stack.Mem.SharedFields()
+	aff = Run(RunConfig{
+		Cores: cores, Listen: tcp.AffinityAccept, Server: Apache,
+		Profiling: true, Seed: opt.Seed,
+		ConnsPerCore: 96,
+		PreRun: func(s *tcp.Stack) {
+			for t, fields := range shared {
+				s.Mem.WatchFields(t, fields)
+			}
+		},
+	})
+	aff.Stack.HarvestProfiles()
+	return fine, aff
+}
+
+// Table4 reproduces Table 4: per-type sharing under Fine-Accept versus
+// Affinity-Accept.
+func Table4(opt Options) *Table {
+	fine, aff := table4Runs(opt)
+	fr := reportByName(fine.Stack.Mem.Report())
+	ar := reportByName(aff.Stack.Mem.Report())
+
+	rows := [][]string{}
+	for _, name := range table4Types {
+		f, fok := fr[name]
+		a, aok := ar[name]
+		if !fok && !aok {
+			continue
+		}
+		var size int
+		if fok {
+			size = f.Size
+		} else {
+			size = a.Size
+		}
+		cycF, cycA := "-", "-"
+		if fine.Requests > 0 {
+			cycF = d(f.SharedCycles / maxU(fine.Requests, 1))
+		}
+		if aff.Requests > 0 {
+			// The Affinity column uses the watched-field counters: the
+			// cost of accessing the bytes Fine-Accept shared, whether or
+			// not they are still shared.
+			if t := typeByName(name); t != nil {
+				cycA = d(aff.Stack.Mem.WatchedCycles(t) / maxU(aff.Requests, 1))
+			} else {
+				cycA = d(a.SharedCycles / maxU(aff.Requests, 1))
+			}
+		}
+		rows = append(rows, []string{
+			name,
+			d(uint64(size)),
+			fmt.Sprintf("%.0f / %.0f", f.PctLinesShared, a.PctLinesShared),
+			fmt.Sprintf("%.0f / %.0f", f.PctBytesShared, a.PctBytesShared),
+			fmt.Sprintf("%.0f / %.0f", f.PctBytesSharedRW, a.PctBytesSharedRW),
+			fmt.Sprintf("%s / %s", cycF, cycA),
+		})
+	}
+	return &Table{
+		ExpID: "T4",
+		Name:  "DProf sharing by type (Fine-Accept / Affinity-Accept)",
+		Header: []string{"Data Type", "Size B", "%Lines Shared",
+			"%Bytes Shared", "%Bytes RW", "SharedCyc/req"},
+		Rows: rows,
+		Notes: []string{
+			"shared cycles count accesses to lines touched by >1 core",
+		},
+	}
+}
+
+func typeByName(name string) *mem.TypeInfo {
+	for _, t := range tcp.TrackedTypes() {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+func reportByName(rows []mem.TypeReport) map[string]mem.TypeReport {
+	m := make(map[string]mem.TypeReport, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figure4 reproduces Figure 4: the CDF of memory access latencies to the
+// locations that Fine-Accept shares, measured under both kernels.
+func Figure4(opt Options) *Series {
+	fine, aff := table4Runs(opt)
+	fh := fine.Stack.Mem.SharedLatencies(table4Types...)
+	ah := aff.Stack.Mem.WatchedLatencies(table4Types...)
+
+	xs := []float64{}
+	fl, al := []float64{}, []float64{}
+	for _, p := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99} {
+		xs = append(xs, p)
+		fl = append(fl, fh.Quantile(p/100))
+		al = append(al, ah.Quantile(p/100))
+	}
+	return &Series{
+		ExpID:  "F4",
+		Name:   "Latency of accesses to shared locations (quantiles)",
+		XLabel: "percentile",
+		YLabel: "cycles",
+		X:      xs,
+		Lines:  map[string][]float64{"Fine-Accept": fl, "Affinity-Accept": al},
+		Order:  []string{"Fine-Accept", "Affinity-Accept"},
+		Notes: []string{
+			"the paper plots the CDF; quantiles carry the same information",
+			fmt.Sprintf("samples: fine=%d affinity=%d", fh.Count(), ah.Count()),
+		},
+	}
+}
+
+// Table5 reproduces Table 5: steering features of contemporary 10 Gbit
+// NICs.
+func Table5(Options) *Table {
+	rows := [][]string{}
+	for _, m := range nic.Catalogue() {
+		hw := fmt.Sprintf("%d", m.HWDMARings)
+		if m.HWDMARingsAlt > 0 {
+			hw = fmt.Sprintf("%d or %d", m.HWDMARings, m.HWDMARingsAlt)
+		}
+		rss := fmt.Sprintf("%d", m.RSSDMARings)
+		if m.RSSDMARingsAlt > 0 {
+			rss = fmt.Sprintf("%d or %d", m.RSSDMARings, m.RSSDMARingsAlt)
+		}
+		fs := m.FlowSteeringNote
+		if m.FlowSteeringEntries > 0 {
+			fs = fmt.Sprintf("%dK", m.FlowSteeringEntries/1024)
+		}
+		rows = append(rows, []string{m.Vendor, hw, rss, fs})
+	}
+	return &Table{
+		ExpID:  "T5",
+		Name:   "Features of modern NICs",
+		Header: []string{"NIC", "HW DMA Rings", "RSS DMA Rings", "Flow Steering Table"},
+		Rows:   rows,
+	}
+}

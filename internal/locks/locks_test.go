@@ -1,0 +1,223 @@
+package locks
+
+import (
+	"testing"
+	"testing/quick"
+
+	"affinityaccept/internal/sim"
+)
+
+func engine(cores int) *sim.Engine {
+	return sim.New(sim.Config{Cores: cores, CoresPerChip: 6, Seed: 1})
+}
+
+func TestUncontendedAcquireIsFree(t *testing.T) {
+	e := engine(1)
+	l := New("test")
+	e.OnCore(0, 100, func(_ *sim.Engine, c *sim.Core) {
+		before := c.Now()
+		l.Acquire(c, true)
+		if c.Now() != before {
+			t.Errorf("uncontended acquire advanced clock by %d", c.Now()-before)
+		}
+		c.Charge(50)
+		l.Unlock(c, before)
+	})
+	e.Run(1000)
+	if l.Stats.Acquisitions != 1 || l.Stats.Contended != 0 {
+		t.Fatalf("stats: %+v", l.Stats)
+	}
+	if l.Stats.Hold != 50 {
+		t.Fatalf("hold = %d, want 50", l.Stats.Hold)
+	}
+}
+
+func TestContendedAcquireSerializes(t *testing.T) {
+	e := engine(2)
+	l := New("test")
+	var order []int
+	work := func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, true)
+		at := c.Now()
+		order = append(order, c.ID)
+		c.Charge(100)
+		l.Unlock(c, at)
+	}
+	e.OnCore(0, 10, work)
+	e.OnCore(1, 20, work) // overlaps the first holder
+	e.Run(10_000)
+	if len(order) != 2 {
+		t.Fatalf("order: %v", order)
+	}
+	if l.Stats.SpinWait != 90 {
+		t.Fatalf("spin wait = %d, want 90 (10+100-20)", l.Stats.SpinWait)
+	}
+	if l.LastHolder() != 1 {
+		t.Fatalf("last holder = %d", l.LastHolder())
+	}
+}
+
+func TestMutexModeParksBeyondSpinLimit(t *testing.T) {
+	e := engine(2)
+	l := NewSocketLock("sock", 100)
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, true)
+		at := c.Now()
+		c.Charge(1000) // long hold
+		l.Unlock(c, at)
+	})
+	var idleSeen sim.Cycles
+	e.OnCore(1, 0, func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, true)
+		idleSeen = c.IdleCycles()
+		l.Unlock(c, c.Now())
+	})
+	e.Run(100_000)
+	// Wait was 1000: spin 100, park 900.
+	if l.Stats.SpinWait != 100 {
+		t.Fatalf("spin wait = %d, want 100", l.Stats.SpinWait)
+	}
+	if l.Stats.MutexWait != 900 {
+		t.Fatalf("mutex wait = %d, want 900", l.Stats.MutexWait)
+	}
+	if idleSeen < 900 {
+		t.Fatalf("parked wait not accounted as idle: %d", idleSeen)
+	}
+}
+
+func TestSoftirqContextAlwaysSpins(t *testing.T) {
+	e := engine(2)
+	l := NewSocketLock("sock", 100)
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, false)
+		at := c.Now()
+		c.Charge(1000)
+		l.Unlock(c, at)
+	})
+	e.OnCore(1, 0, func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, false) // softirq: must spin the whole wait
+		l.Unlock(c, c.Now())
+	})
+	e.Run(100_000)
+	if l.Stats.MutexWait != 0 {
+		t.Fatalf("softirq context parked: %+v", l.Stats)
+	}
+	if l.Stats.SpinWait != 1000 {
+		t.Fatalf("spin wait = %d, want 1000", l.Stats.SpinWait)
+	}
+}
+
+func TestLockStatOverheadCharged(t *testing.T) {
+	e := engine(1)
+	l := New("test")
+	l.Overhead = 25
+	var elapsed sim.Cycles
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		start := c.Now()
+		l.With(c, true, func() {})
+		elapsed = c.Now() - start
+	})
+	e.Run(1000)
+	if elapsed != 50 { // acquire + release overhead
+		t.Fatalf("lockstat overhead charged %d, want 50", elapsed)
+	}
+}
+
+func TestWithReleasesAndAccountsHold(t *testing.T) {
+	e := engine(1)
+	l := New("test")
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		l.With(c, true, func() { c.Charge(77) })
+	})
+	e.Run(1000)
+	if l.Stats.Hold != 77 {
+		t.Fatalf("hold = %d", l.Stats.Hold)
+	}
+}
+
+func TestThreeWayPileupFIFOWait(t *testing.T) {
+	e := engine(3)
+	l := New("test")
+	var starts []sim.Time
+	work := func(_ *sim.Engine, c *sim.Core) {
+		l.Acquire(c, false)
+		at := c.Now()
+		starts = append(starts, at)
+		c.Charge(100)
+		l.Unlock(c, at)
+	}
+	for core := 0; core < 3; core++ {
+		e.OnCore(core, 0, work)
+	}
+	e.Run(100_000)
+	if len(starts) != 3 {
+		t.Fatalf("starts: %v", starts)
+	}
+	if starts[0] != 0 || starts[1] != 100 || starts[2] != 200 {
+		t.Fatalf("pileup not serialized: %v", starts)
+	}
+}
+
+func TestBucketLocksRoundUpAndDistribute(t *testing.T) {
+	b := NewBucketLocks("req", 100)
+	if b.Len() != 128 {
+		t.Fatalf("len = %d, want 128", b.Len())
+	}
+	if b.Bucket(0) == b.Bucket(1) {
+		t.Fatal("adjacent hashes share a bucket")
+	}
+	if b.Bucket(5) != b.Bucket(5+128) {
+		t.Fatal("bucket mapping not modular")
+	}
+}
+
+func TestBucketLocksStatsAggregate(t *testing.T) {
+	e := engine(2)
+	b := NewBucketLocks("req", 4)
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		b.Bucket(0).With(c, false, func() { c.Charge(10) })
+		b.Bucket(1).With(c, false, func() { c.Charge(20) })
+	})
+	e.Run(1000)
+	s := b.Stats()
+	if s.Acquisitions != 2 || s.Hold != 30 {
+		t.Fatalf("aggregate stats: %+v", s)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Acquisitions: 1, Contended: 1, SpinWait: 10, MutexWait: 20, Hold: 30}
+	b := Stats{Acquisitions: 2, Contended: 0, SpinWait: 5, MutexWait: 0, Hold: 7}
+	a.Merge(b)
+	if a.Acquisitions != 3 || a.SpinWait != 15 || a.MutexWait != 20 || a.Hold != 37 {
+		t.Fatalf("merge: %+v", a)
+	}
+}
+
+// Property: under arbitrary contention, total hold time equals the sum of
+// individual critical sections, and waits are non-negative (no time loss).
+func TestHoldConservationProperty(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		if len(offsets) == 0 || len(offsets) > 40 {
+			return true
+		}
+		e := engine(8)
+		l := New("p")
+		var total sim.Cycles
+		for i, off := range offsets {
+			hold := sim.Cycles(10 + i%5)
+			total += hold
+			e.OnCore(i%8, sim.Time(off), func(_ *sim.Engine, c *sim.Core) {
+				l.Acquire(c, false)
+				at := c.Now()
+				c.Charge(hold)
+				l.Unlock(c, at)
+			})
+		}
+		e.Run(1 << 40)
+		return l.Stats.Hold == total && l.Stats.Acquisitions == uint64(len(offsets))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

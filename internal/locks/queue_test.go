@@ -1,0 +1,103 @@
+package locks
+
+import (
+	"testing"
+
+	"affinityaccept/internal/sim"
+)
+
+// TestGlobalClockAnchoring: a handler that advanced its core's local
+// clock far ahead must not make later acquirers (at earlier local times
+// but later dispatch order) wait spuriously.
+func TestGlobalClockAnchoring(t *testing.T) {
+	e := engine(2)
+	l := New("t")
+	// Core 0's event at t=0 runs long and uses the lock near its end.
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		c.Charge(1_000_000) // drift far ahead
+		l.With(c, false, func() { c.Charge(100) })
+	})
+	// Core 1's event dispatches later (t=10) at a much earlier local
+	// clock; the lock's service queue is anchored at dispatch time, so
+	// it waits only the hold time, not the drift.
+	var waited sim.Cycles
+	e.OnCore(1, 10, func(_ *sim.Engine, c *sim.Core) {
+		before := c.Now()
+		l.Acquire(c, false)
+		waited = c.Now() - before
+		l.Unlock(c, c.Now())
+	})
+	e.Run(1 << 40)
+	if waited > 200 {
+		t.Fatalf("spurious cross-drift wait: %d cycles", waited)
+	}
+}
+
+func TestQueueCapBoundsBacklog(t *testing.T) {
+	e := engine(8)
+	l := New("t")
+	l.QueueCap = 1000
+	// Many acquisitions at the same dispatch instant, each holding 500:
+	// the virtual queue would grow unboundedly without the cap.
+	var maxWait sim.Cycles
+	for i := 0; i < 20; i++ {
+		e.OnCore(i%8, 0, func(_ *sim.Engine, c *sim.Core) {
+			before := c.Now()
+			l.Acquire(c, false)
+			if w := c.Now() - before; w > maxWait {
+				maxWait = w
+			}
+			at := c.Now()
+			c.Charge(500)
+			l.Unlock(c, at)
+		})
+	}
+	e.Run(1 << 40)
+	if maxWait > 1000 {
+		t.Fatalf("wait %d exceeded queue cap", maxWait)
+	}
+}
+
+func TestSerializationThroughputBound(t *testing.T) {
+	// A saturated lock serializes at ~1/hold: with 4 cores each
+	// re-acquiring immediately, total acquisitions over a window track
+	// window/hold.
+	e := engine(4)
+	l := New("t")
+	const hold = 10_000
+	var done int
+	var loop func(en *sim.Engine, c *sim.Core)
+	loop = func(en *sim.Engine, c *sim.Core) {
+		l.Acquire(c, false)
+		at := c.Now()
+		c.Charge(hold)
+		l.Unlock(c, at)
+		done++
+		if c.Now() < 10_000_000 {
+			en.OnCore(c.ID, c.Now(), loop)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		e.OnCore(i, 0, loop)
+	}
+	e.Run(12_000_000)
+	// Window 10M cycles / 10k hold = ~1000 serialized sections.
+	if done < 800 || done > 1400 {
+		t.Fatalf("served %d critical sections, want ~1000 (serialized)", done)
+	}
+}
+
+func TestSleepAdvancesIdleClock(t *testing.T) {
+	e := engine(1)
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		c.Charge(100)
+		c.Sleep(400)
+		if c.Now() != 500 {
+			t.Errorf("clock = %d", c.Now())
+		}
+		if c.IdleCycles() != 400 || c.BusyCycles() != 100 {
+			t.Errorf("idle=%d busy=%d", c.IdleCycles(), c.BusyCycles())
+		}
+	})
+	e.Run(1000)
+}

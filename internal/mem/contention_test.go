@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+
+	"affinityaccept/internal/sim"
+)
+
+// clockAt returns a Clock function reading from a settable time.
+func clockAt(t *sim.Time) func() sim.Time {
+	return func() sim.Time { return *t }
+}
+
+func TestEvictHitsTurnsHitsIntoDRAMRefills(t *testing.T) {
+	m := NewModel(AMD48())
+	o, _ := m.Alloc(0, testType)
+	f, _ := testType.FieldByName("rx")
+
+	m.Access(0, o, f, true)
+	r := m.Access(0, o, f, false)
+	if r.Cycles != m.Machine.Lat.L1 || r.Miss {
+		t.Fatalf("without eviction: %+v, want L1 hit", r)
+	}
+
+	m.EvictHits = true
+	r = m.Access(0, o, f, false)
+	if r.Cycles < m.Machine.Lat.RAM || !r.Miss {
+		t.Fatalf("with eviction: %+v, want DRAM refill", r)
+	}
+	// Repeats within one operation still hit L1.
+	r = m.AccessRepeat(0, o, f, false, 3)
+	want := m.Machine.Lat.RAM + 2*m.Machine.Lat.L1
+	if r.Cycles != want {
+		t.Fatalf("repeat cost %d, want %d (one refill + L1 repeats)", r.Cycles, want)
+	}
+}
+
+func TestEvictHitsKeepsRemoteTransfersRemote(t *testing.T) {
+	m := NewModel(AMD48())
+	m.EvictHits = true
+	o, _ := m.Alloc(0, testType)
+	f, _ := testType.FieldByName("rx")
+	m.Access(0, o, f, true)
+	// A cross-chip reader still pays the remote-cache latency, which
+	// exceeds the local refill: the Fine-vs-Affinity asymmetry.
+	r := m.Access(12, o, f, false)
+	if r.Cycles < m.Machine.Lat.RemoteL3 {
+		t.Fatalf("remote dirty read %d, want >= RemoteL3", r.Cycles)
+	}
+}
+
+func TestDRAMControllerQueues(t *testing.T) {
+	m := NewModel(AMD48())
+	var now sim.Time
+	m.Clock = clockAt(&now)
+	m.CtlService = 40
+
+	// Two cores on the same chip issue misses at the same instant: the
+	// second one queues behind the first.
+	m.IssueNow = 0
+	r1 := m.ColdMisses(0, 1)
+	m.IssueNow = 0
+	r2 := m.ColdMisses(1, 1)
+	if r1.Cycles != m.Machine.Lat.RAM {
+		t.Fatalf("first access %d, want bare RAM", r1.Cycles)
+	}
+	if r2.Cycles != m.Machine.Lat.RAM+40 {
+		t.Fatalf("second access %d, want RAM+service", r2.Cycles)
+	}
+	if m.CtlDelays == 0 {
+		t.Fatal("no delay recorded")
+	}
+}
+
+func TestDRAMControllerNoSelfQueueing(t *testing.T) {
+	m := NewModel(AMD48())
+	var now sim.Time
+	m.Clock = clockAt(&now)
+	m.CtlService = 40
+
+	// One core's sequential misses are spaced by the DRAM latency
+	// itself (120 > 40), so they never queue against each other.
+	m.IssueNow = 0
+	r := m.ColdMisses(0, 10)
+	if r.Cycles != 10*m.Machine.Lat.RAM {
+		t.Fatalf("10 sequential misses cost %d, want %d", r.Cycles, 10*m.Machine.Lat.RAM)
+	}
+}
+
+func TestDRAMControllerSeparateChips(t *testing.T) {
+	m := NewModel(AMD48())
+	var now sim.Time
+	m.Clock = clockAt(&now)
+	m.CtlService = 40
+	m.IssueNow = 0
+	m.ColdMisses(0, 1) // chip 0
+	m.IssueNow = 0
+	r := m.ColdMisses(6, 1) // chip 1: independent controller
+	if r.Cycles != m.Machine.Lat.RAM {
+		t.Fatalf("other chip queued: %d", r.Cycles)
+	}
+}
+
+func TestDRAMQueueBounded(t *testing.T) {
+	m := NewModel(AMD48())
+	var now sim.Time
+	m.Clock = clockAt(&now)
+	m.CtlService = 40
+	// Hammer the controller from many "cores" at the same instant; the
+	// delay must stay below the bound.
+	for c := 0; c < 6; c++ {
+		for i := 0; i < 200; i++ {
+			m.IssueNow = 0
+			r := m.ColdMisses(c, 1)
+			if d := r.Cycles - m.Machine.Lat.RAM; d > 25_000 {
+				t.Fatalf("unbounded queue delay %d", d)
+			}
+		}
+	}
+}
+
+func TestWatchFieldsAccumulate(t *testing.T) {
+	m := NewModel(AMD48())
+	m.Profiling = true
+	f, _ := testType.FieldByName("rx")
+	m.WatchFields(testType, []FieldID{f})
+
+	o, _ := m.Alloc(0, testType)
+	m.Access(0, o, f, true)
+	m.Access(0, o, f, false)
+	if m.WatchedCycles(testType) == 0 {
+		t.Fatal("watched cycles not recorded")
+	}
+	if m.WatchedLatencies("test_sock").Count() != 2 {
+		t.Fatalf("watched samples = %d", m.WatchedLatencies("test_sock").Count())
+	}
+	if m.WatchedLatencies("absent").Count() != 0 {
+		t.Fatal("filter leak")
+	}
+}
+
+func TestSharedFieldsFeedWatch(t *testing.T) {
+	// Pass 1: shared access under "fine" conditions.
+	m1 := NewModel(AMD48())
+	m1.Profiling = true
+	rx, _ := testType.FieldByName("rx")
+	tx, _ := testType.FieldByName("tx")
+	o, _ := m1.Alloc(0, testType)
+	m1.Access(0, o, rx, true)
+	m1.Access(7, o, rx, false) // shared
+	m1.Access(0, o, tx, true)  // private
+	m1.Free(0, o)
+
+	shared := m1.SharedFields()
+	fields, ok := shared[testType]
+	if !ok || len(fields) != 1 || fields[0] != rx {
+		t.Fatalf("shared fields = %v, want [rx]", fields)
+	}
+
+	// Pass 2: watch exactly those fields in a local-only run.
+	m2 := NewModel(AMD48())
+	m2.Profiling = true
+	m2.WatchFields(testType, fields)
+	o2, _ := m2.Alloc(3, testType)
+	m2.Access(3, o2, rx, true)
+	m2.Access(3, o2, tx, true) // unwatched
+	if m2.WatchedCycles(testType) == 0 {
+		t.Fatal("watched access not counted")
+	}
+	wl := m2.WatchedLatencies()
+	if wl.Count() != 1 {
+		t.Fatalf("watched %d accesses, want only the rx one", wl.Count())
+	}
+}
+
+func TestLinesFullVsTracked(t *testing.T) {
+	big := NewType("big", 16384, Field{Name: "hot", Off: 0, Len: 64})
+	if big.Lines() != 1 {
+		t.Fatalf("tracked lines = %d, want 1", big.Lines())
+	}
+	if big.LinesFull() != 256 {
+		t.Fatalf("full lines = %d, want 256", big.LinesFull())
+	}
+	// Sharing percentages divide by the full size.
+	m := NewModel(AMD48())
+	o, _ := m.Alloc(0, big)
+	m.Access(0, o, 0, true)
+	m.Access(1, o, 0, false)
+	m.HarvestLive([]*Object{o})
+	rows := m.Report()
+	for _, r := range rows {
+		if r.Name == "big" {
+			if r.PctLinesShared > 0.5 {
+				t.Fatalf("pct lines shared %.2f, want 1/256", r.PctLinesShared)
+			}
+			return
+		}
+	}
+	t.Fatal("no report row")
+}

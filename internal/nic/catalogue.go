@@ -1,0 +1,26 @@
+package nic
+
+// Model describes the steering capabilities of a commercial 10 Gbit NIC,
+// reproducing the paper's Table 5. FlowSteeringEntries of -1 means the
+// vendor documentation gives no number ("-" in the paper); a
+// FlowSteeringNote carries qualitative sizes like "tens of thousands".
+type Model struct {
+	Vendor              string
+	HWDMARings          int
+	HWDMARingsAlt       int // second option where the paper lists "32 or 64"
+	RSSDMARings         int
+	RSSDMARingsAlt      int
+	FlowSteeringEntries int
+	FlowSteeringNote    string
+}
+
+// Catalogue returns the paper's Table 5 rows.
+func Catalogue() []Model {
+	return []Model{
+		{Vendor: "Intel", HWDMARings: 64, RSSDMARings: 16, FlowSteeringEntries: 32 * 1024},
+		{Vendor: "Chelsio", HWDMARings: 32, HWDMARingsAlt: 64, RSSDMARings: 32, RSSDMARingsAlt: 64,
+			FlowSteeringEntries: -1, FlowSteeringNote: "tens of thousands"},
+		{Vendor: "Solarflare", HWDMARings: 32, RSSDMARings: 32, FlowSteeringEntries: 8 * 1024},
+		{Vendor: "Myricom", HWDMARings: 32, RSSDMARings: 32, FlowSteeringEntries: -1, FlowSteeringNote: "-"},
+	}
+}

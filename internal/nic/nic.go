@@ -1,0 +1,305 @@
+// Package nic simulates the multi-queue Ethernet controller of the
+// paper's testbed (Intel 82599 "IXGBE"): per-core RX/TX DMA rings, RSS
+// and FDir flow steering, a 10 Gbit port with serialization delay, and
+// the driver behaviours the paper measures around FDir — per-flow
+// steering updates on transmit ("Twenty-Policy", §7.1) with their insert
+// and table-flush costs.
+//
+// The NIC's only job in the reproduction is deciding which core's ring
+// receives each incoming packet, at what time, and how fast outgoing
+// bytes drain. Packet payloads are never materialized.
+package nic
+
+import (
+	"affinityaccept/internal/core"
+	"affinityaccept/internal/sim"
+)
+
+// Mode selects the steering mechanism.
+type Mode int
+
+const (
+	// ModeFlowGroups is Affinity-Accept's configuration (§3.1): the NIC
+	// hashes the low bits of the source port into a flow group and FDir
+	// maps each group to a ring. Steering follows the core.FlowTable.
+	ModeFlowGroups Mode = iota
+	// ModeRSS spreads flows by hash over at most RSSRings rings (the
+	// 82599's RSS indirection supports only 16 distinct rings).
+	ModeRSS
+	// ModePerFlowFDir steers exact flows via the bounded FDir hash
+	// table, falling back to RSS on a miss. The Twenty-Policy driver
+	// (§7.1) populates the table from the transmit path.
+	ModePerFlowFDir
+)
+
+// Packet is a simulated frame. The NIC treats Kind, Conn, Seq and Aux as
+// opaque; the TCP stack interprets them (Seq carries a request serial
+// for duplicate suppression, Aux the response size a request asks for).
+type Packet struct {
+	Key   core.FlowKey
+	Bytes int
+	Kind  uint8
+	Conn  interface{}
+	Seq   uint32
+	Aux   uint32
+}
+
+// Handler processes one received packet on the ring's core (the TCP
+// stack's softirq entry).
+type Handler func(e *sim.Engine, c *sim.Core, pkt *Packet)
+
+// Config parameterizes the simulated NIC. Zero values select defaults
+// matching the paper's hardware.
+type Config struct {
+	Rings     int
+	Mode      Mode
+	FlowTable *core.FlowTable // required in ModeFlowGroups
+
+	// RSSRings is the number of rings reachable through RSS (82599: 16).
+	RSSRings int
+	// FDirCapacity bounds the per-flow steering table (8K–32K; §3.1).
+	FDirCapacity int
+	// TwentyPeriod is how many transmitted packets between FDir updates
+	// in ModePerFlowFDir (the driver's policy: 20).
+	TwentyPeriod int
+
+	// BandwidthBits is the port rate in bits/second (default 10 Gbit).
+	BandwidthBits uint64
+	// Freq converts seconds to cycles (default sim.DefaultFreq).
+	Freq uint64
+
+	// IRQDelay is interrupt signalling latency from ring write to
+	// softirq start.
+	IRQDelay sim.Cycles
+	// NAPIBudget is packets drained per softirq invocation.
+	NAPIBudget int
+	// RingCapacity is the RX descriptor count per ring.
+	RingCapacity int
+
+	// FDir maintenance costs (paper §7.1): inserting an entry costs
+	// ~10,000 cycles (hash computation dominates; the table write is
+	// ~600); scheduling a flush ~80,000 and the flush itself ~70,000,
+	// during which transmit halts and received packets are missed.
+	FDirInsertCost    sim.Cycles
+	FDirFlushSchedule sim.Cycles
+	FDirFlushCost     sim.Cycles
+}
+
+func (c *Config) fill() {
+	if c.Rings <= 0 {
+		panic("nic: need at least one ring")
+	}
+	if c.RSSRings == 0 {
+		c.RSSRings = 16
+	}
+	if c.RSSRings > c.Rings {
+		c.RSSRings = c.Rings
+	}
+	if c.FDirCapacity == 0 {
+		c.FDirCapacity = 32 * 1024
+	}
+	if c.TwentyPeriod == 0 {
+		c.TwentyPeriod = 20
+	}
+	if c.BandwidthBits == 0 {
+		c.BandwidthBits = 10_000_000_000
+	}
+	if c.Freq == 0 {
+		c.Freq = sim.DefaultFreq
+	}
+	if c.IRQDelay == 0 {
+		c.IRQDelay = 4800 // 2 us at 2.4 GHz
+	}
+	if c.NAPIBudget == 0 {
+		// Real NAPI polls 64 descriptors per turn; the simulator uses a
+		// smaller batch so one softirq event does not advance its
+		// core's clock far beyond the rest of the machine (bounding
+		// cross-core timestamp drift).
+		c.NAPIBudget = 8
+	}
+	if c.RingCapacity == 0 {
+		c.RingCapacity = 1024
+	}
+	if c.FDirInsertCost == 0 {
+		c.FDirInsertCost = 10_000
+	}
+	if c.FDirFlushSchedule == 0 {
+		c.FDirFlushSchedule = 80_000
+	}
+	if c.FDirFlushCost == 0 {
+		c.FDirFlushCost = 70_000
+	}
+	if c.Mode == ModeFlowGroups && c.FlowTable == nil {
+		panic("nic: ModeFlowGroups requires a FlowTable")
+	}
+}
+
+type rxRing struct {
+	q       []*Packet
+	pending bool
+}
+
+// Stats aggregates NIC counters.
+type Stats struct {
+	RxPackets, RxDropsFull, RxDropsFlush uint64
+	TxPackets                            uint64
+	RxBytes, TxBytes                     uint64
+	FDirInserts, FDirFlushes             uint64
+}
+
+// NIC is the simulated controller.
+type NIC struct {
+	cfg     Config
+	rings   []rxRing
+	handler Handler
+
+	cyclesPerByte float64
+	txFree        sim.Time
+	flushUntil    sim.Time
+
+	fdir map[uint32]int32
+
+	Stats Stats
+}
+
+// New builds a NIC; the handler runs for every delivered packet on the
+// receiving ring's core.
+func New(cfg Config, h Handler) *NIC {
+	cfg.fill()
+	n := &NIC{
+		cfg:           cfg,
+		rings:         make([]rxRing, cfg.Rings),
+		handler:       h,
+		cyclesPerByte: 8 * float64(cfg.Freq) / float64(cfg.BandwidthBits),
+		fdir:          make(map[uint32]int32),
+	}
+	return n
+}
+
+// Config reports the effective configuration after defaults.
+func (n *NIC) Config() Config { return n.cfg }
+
+// steer picks the RX ring for a packet.
+func (n *NIC) steer(key core.FlowKey) int {
+	switch n.cfg.Mode {
+	case ModeFlowGroups:
+		r := n.cfg.FlowTable.CoreForPort(key.SrcPort)
+		if r >= n.cfg.Rings {
+			r %= n.cfg.Rings
+		}
+		return r
+	case ModePerFlowFDir:
+		if r, ok := n.fdir[key.Hash()]; ok {
+			return int(r)
+		}
+		return int(key.Hash()) % n.cfg.RSSRings
+	default: // ModeRSS
+		return int(key.Hash()) % n.cfg.RSSRings
+	}
+}
+
+// Rx accepts a packet from the wire at the engine's current time,
+// steering it to a ring and scheduling softirq processing. Packets are
+// dropped when the target ring is full or an FDir flush is in progress.
+func (n *NIC) Rx(e *sim.Engine, pkt *Packet) {
+	if e.Now() < n.flushUntil {
+		n.Stats.RxDropsFlush++
+		return
+	}
+	ringID := n.steer(pkt.Key)
+	r := &n.rings[ringID]
+	if len(r.q) >= n.cfg.RingCapacity {
+		n.Stats.RxDropsFull++
+		return
+	}
+	n.Stats.RxPackets++
+	n.Stats.RxBytes += uint64(pkt.Bytes)
+	r.q = append(r.q, pkt)
+	if !r.pending {
+		r.pending = true
+		e.OnCore(ringID, e.Now()+n.cfg.IRQDelay, func(e *sim.Engine, c *sim.Core) {
+			n.drain(e, c, ringID)
+		})
+	}
+}
+
+// drain is the NAPI poll loop: process up to budget packets, then yield
+// the core and reschedule if a backlog remains.
+func (n *NIC) drain(e *sim.Engine, c *sim.Core, ringID int) {
+	r := &n.rings[ringID]
+	budget := n.cfg.NAPIBudget
+	for budget > 0 && len(r.q) > 0 {
+		pkt := r.q[0]
+		copy(r.q, r.q[1:])
+		r.q = r.q[:len(r.q)-1]
+		budget--
+		n.handler(e, c, pkt)
+	}
+	if len(r.q) > 0 {
+		e.OnCore(ringID, c.Now(), func(e *sim.Engine, c *sim.Core) {
+			n.drain(e, c, ringID)
+		})
+	} else {
+		r.pending = false
+	}
+}
+
+// Backlog reports the RX queue depth of a ring, for tests.
+func (n *NIC) Backlog(ring int) int { return len(n.rings[ring].q) }
+
+// Tx transmits a packet from the calling core's TX ring and returns the
+// time the last byte leaves the wire. Per-core TX rings need no lock;
+// the port itself serializes bytes at the configured bandwidth, and a
+// pending FDir flush halts transmission (§7.1).
+func (n *NIC) Tx(c *sim.Core, pkt *Packet) sim.Time {
+	start := c.Now()
+	if n.txFree > start {
+		start = n.txFree
+	}
+	if n.flushUntil > start {
+		start = n.flushUntil
+	}
+	n.txFree = start + sim.Cycles(float64(pkt.Bytes)*n.cyclesPerByte)
+	n.Stats.TxPackets++
+	n.Stats.TxBytes += uint64(pkt.Bytes)
+	return n.txFree
+}
+
+// TxBacklogCycles reports how far the TX port lags the given time; the
+// TCP stack uses it to model send-buffer pushback.
+func (n *NIC) TxBacklogCycles(now sim.Time) sim.Cycles {
+	if n.txFree > now {
+		return sim.Cycles(n.txFree - now)
+	}
+	return 0
+}
+
+// FDirUpdate inserts or refreshes a per-flow steering entry pointing the
+// flow at the calling core, charging the paper's insert cost. When the
+// table is full the driver schedules a full flush: the table empties,
+// transmission halts and incoming packets are missed until it completes.
+func (n *NIC) FDirUpdate(e *sim.Engine, c *sim.Core, key core.FlowKey) {
+	c.Charge(n.cfg.FDirInsertCost)
+	n.Stats.FDirInserts++
+	if len(n.fdir) >= n.cfg.FDirCapacity {
+		n.Stats.FDirFlushes++
+		n.fdir = make(map[uint32]int32, n.cfg.FDirCapacity)
+		end := c.Now() + n.cfg.FDirFlushSchedule + n.cfg.FDirFlushCost
+		if end > n.flushUntil {
+			n.flushUntil = end
+		}
+		if n.flushUntil > n.txFree {
+			n.txFree = n.flushUntil
+		}
+	}
+	n.fdir[key.Hash()] = int32(c.ID)
+}
+
+// FDirEntries reports the per-flow table occupancy.
+func (n *NIC) FDirEntries() int { return len(n.fdir) }
+
+// TwentyPeriod exposes the driver's update period for the TCP stack.
+func (n *NIC) TwentyPeriod() int { return n.cfg.TwentyPeriod }
+
+// Mode reports the steering mode.
+func (n *NIC) Mode() Mode { return n.cfg.Mode }

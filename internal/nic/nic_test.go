@@ -1,0 +1,220 @@
+package nic
+
+import (
+	"testing"
+
+	"affinityaccept/internal/core"
+	"affinityaccept/internal/sim"
+)
+
+func testNIC(t *testing.T, mode Mode, rings int, h Handler) (*NIC, *sim.Engine, *core.FlowTable) {
+	t.Helper()
+	ft := core.NewFlowTable(64, rings)
+	if h == nil {
+		h = func(e *sim.Engine, c *sim.Core, pkt *Packet) {}
+	}
+	n := New(Config{Rings: rings, Mode: mode, FlowTable: ft}, h)
+	e := sim.New(sim.Config{Cores: rings, Seed: 1})
+	return n, e, ft
+}
+
+func pkt(port uint16) *Packet {
+	return &Packet{
+		Key:   core.FlowKey{Proto: 6, SrcIP: 1, DstIP: 2, SrcPort: port, DstPort: 80},
+		Bytes: 100,
+	}
+}
+
+func TestFlowGroupSteeringFollowsTable(t *testing.T) {
+	var got []int
+	n, e, ft := testNIC(t, ModeFlowGroups, 4, func(_ *sim.Engine, c *sim.Core, _ *Packet) {
+		got = append(got, c.ID)
+	})
+	p := pkt(7)
+	want := ft.CoreForPort(7)
+	n.Rx(e, p)
+	e.Run(1 << 40)
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("delivered on %v, want [%d]", got, want)
+	}
+	// Migrating the group redirects subsequent packets.
+	ft.Migrate(ft.GroupOf(7), (want+1)%4)
+	n.Rx(e, pkt(7))
+	e.Run(1 << 41)
+	if got[len(got)-1] != (want+1)%4 {
+		t.Fatal("migration did not redirect steering")
+	}
+}
+
+func TestRSSLimitsRings(t *testing.T) {
+	counts := map[int]int{}
+	ft := core.NewFlowTable(64, 32)
+	n := New(Config{Rings: 32, Mode: ModeRSS, FlowTable: ft, RSSRings: 16},
+		func(_ *sim.Engine, c *sim.Core, _ *Packet) { counts[c.ID]++ })
+	e := sim.New(sim.Config{Cores: 32, Seed: 1})
+	for p := 0; p < 512; p++ {
+		n.Rx(e, pkt(uint16(p)))
+	}
+	e.Run(1 << 42)
+	for ring := range counts {
+		if ring >= 16 {
+			t.Fatalf("RSS delivered to ring %d beyond its 16-ring limit", ring)
+		}
+	}
+	if len(counts) < 8 {
+		t.Fatalf("RSS used only %d rings", len(counts))
+	}
+}
+
+func TestPerFlowFDirSteersToUpdatedCore(t *testing.T) {
+	var cores []int
+	n, e, _ := testNIC(t, ModePerFlowFDir, 8, func(_ *sim.Engine, c *sim.Core, _ *Packet) {
+		cores = append(cores, c.ID)
+	})
+	key := pkt(99).Key
+	// Install a steering entry from core 5's transmit path.
+	e.OnCore(5, 0, func(_ *sim.Engine, c *sim.Core) {
+		n.FDirUpdate(e, c, key)
+	})
+	e.Run(1 << 30)
+	n.Rx(e, pkt(99))
+	e.Run(1 << 40)
+	if len(cores) != 1 || cores[0] != 5 {
+		t.Fatalf("FDir steering delivered on %v, want [5]", cores)
+	}
+	if n.FDirEntries() != 1 {
+		t.Fatalf("entries = %d", n.FDirEntries())
+	}
+}
+
+func TestFDirInsertCostCharged(t *testing.T) {
+	n, e, _ := testNIC(t, ModePerFlowFDir, 2, nil)
+	var spent sim.Cycles
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		before := c.Now()
+		n.FDirUpdate(e, c, pkt(1).Key)
+		spent = c.Now() - before
+	})
+	e.Run(1 << 30)
+	if spent != n.Config().FDirInsertCost {
+		t.Fatalf("insert cost %d, want %d", spent, n.Config().FDirInsertCost)
+	}
+}
+
+func TestFDirFlushHaltsTxAndDropsRx(t *testing.T) {
+	ft := core.NewFlowTable(64, 2)
+	n := New(Config{Rings: 2, Mode: ModePerFlowFDir, FlowTable: ft, FDirCapacity: 4}, nil)
+	e := sim.New(sim.Config{Cores: 2, Seed: 1})
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		for i := 0; i < 5; i++ { // fifth insert overflows capacity 4
+			n.FDirUpdate(e, c, pkt(uint16(i)).Key)
+		}
+	})
+	e.Run(1)
+	if n.Stats.FDirFlushes != 1 {
+		t.Fatalf("flushes = %d, want 1", n.Stats.FDirFlushes)
+	}
+	// During the flush, received packets are missed.
+	n.Rx(e, pkt(77))
+	if n.Stats.RxDropsFlush != 1 {
+		t.Fatalf("flush drops = %d", n.Stats.RxDropsFlush)
+	}
+	// And transmission is pushed past the flush window.
+	var txDone sim.Time
+	e.OnCore(0, 2, func(_ *sim.Engine, c *sim.Core) {
+		txDone = n.Tx(c, pkt(3))
+	})
+	e.Run(1 << 30)
+	cfg := n.Config()
+	if txDone < cfg.FDirFlushSchedule {
+		t.Fatalf("tx finished at %d, inside the flush window", txDone)
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	ft := core.NewFlowTable(64, 1)
+	n := New(Config{Rings: 1, Mode: ModeFlowGroups, FlowTable: ft, RingCapacity: 4},
+		func(_ *sim.Engine, _ *sim.Core, _ *Packet) {})
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	for i := 0; i < 10; i++ {
+		n.Rx(e, pkt(uint16(i)))
+	}
+	if n.Stats.RxDropsFull == 0 {
+		t.Fatal("no drops despite ring overflow")
+	}
+	if n.Backlog(0) > 4 {
+		t.Fatalf("ring grew past capacity: %d", n.Backlog(0))
+	}
+}
+
+func TestNAPIBatchingDrainsBacklog(t *testing.T) {
+	served := 0
+	ft := core.NewFlowTable(64, 1)
+	n := New(Config{Rings: 1, Mode: ModeFlowGroups, FlowTable: ft, NAPIBudget: 2},
+		func(_ *sim.Engine, c *sim.Core, _ *Packet) { c.Charge(100); served++ })
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	for i := 0; i < 7; i++ {
+		n.Rx(e, pkt(uint16(i)))
+	}
+	e.Run(1 << 40)
+	if served != 7 {
+		t.Fatalf("served %d of 7 packets", served)
+	}
+}
+
+func TestTxBandwidthSerializes(t *testing.T) {
+	n, e, _ := testNIC(t, ModeFlowGroups, 2, nil)
+	var t1, t2 sim.Time
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		big := &Packet{Key: pkt(1).Key, Bytes: 125_000} // 100 us at 10 Gbit
+		t1 = n.Tx(c, big)
+	})
+	e.OnCore(1, 0, func(_ *sim.Engine, c *sim.Core) {
+		t2 = n.Tx(c, &Packet{Key: pkt(2).Key, Bytes: 125_000})
+	})
+	e.Run(1 << 30)
+	if t2 <= t1 {
+		t.Fatalf("port did not serialize: %d then %d", t1, t2)
+	}
+	// 125 kB at 10 Gbit = 100 us = 240k cycles at 2.4 GHz.
+	if t1 < 200_000 || t1 > 280_000 {
+		t.Fatalf("first tx finished at %d cycles, want ~240k", t1)
+	}
+	if n.TxBacklogCycles(0) == 0 {
+		t.Fatal("tx backlog not visible")
+	}
+}
+
+func TestCatalogueMatchesTable5(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) != 4 {
+		t.Fatalf("catalogue has %d rows", len(cat))
+	}
+	intel := cat[0]
+	if intel.Vendor != "Intel" || intel.HWDMARings != 64 ||
+		intel.RSSDMARings != 16 || intel.FlowSteeringEntries != 32*1024 {
+		t.Fatalf("intel row wrong: %+v", intel)
+	}
+	chelsio := cat[1]
+	if chelsio.FlowSteeringNote != "tens of thousands" {
+		t.Fatal("chelsio note wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rings")
+		}
+	}()
+	New(Config{}, nil)
+}
+
+func TestFlowGroupsRequiresTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without FlowTable")
+		}
+	}()
+	New(Config{Rings: 2, Mode: ModeFlowGroups}, nil)
+}

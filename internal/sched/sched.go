@@ -1,0 +1,140 @@
+// Package sched provides the background CPU load used in the paper's
+// load-balancer evaluation (§6.5): a parallel "make" job that consumes
+// entire cores in two parallel phases separated by a short serial phase,
+// time-sliced against whatever else runs on those cores.
+package sched
+
+import "affinityaccept/internal/sim"
+
+// DefaultSlice is the scheduling quantum a CPU-bound task runs before
+// yielding the simulated core.
+const DefaultSlice sim.Cycles = 480_000 // 200 us at 2.4 GHz
+
+// Hog is a CPU-bound task bound to one core. It competes for the core's
+// timeline in slices. Share models the CFS share the task would win
+// against user-space competitors: after each slice the hog yields
+// (1-Share)/Share of a slice before claiming the core again, so user
+// work gets at most that fraction of the non-interrupt time — interrupt
+// work always runs (it preempts everything on the shared timeline).
+// Share 0 or 1 means greedy: the hog soaks up whatever is left over.
+type Hog struct {
+	Core      int
+	Remaining sim.Cycles
+	Slice     sim.Cycles
+	Share     float64
+	// Done is called at the virtual time the work completes.
+	Done func(at sim.Time)
+
+	stopped bool
+}
+
+// Start begins executing the hog.
+func (h *Hog) Start(e *sim.Engine) {
+	if h.Slice == 0 {
+		h.Slice = DefaultSlice
+	}
+	e.OnCore(h.Core, e.Now(), h.run)
+}
+
+// Stop cancels remaining work (the hog's Done is not called).
+func (h *Hog) Stop() { h.stopped = true }
+
+func (h *Hog) gap() sim.Cycles {
+	if h.Share <= 0 || h.Share >= 1 {
+		return 0
+	}
+	return sim.Cycles(float64(h.Slice) * (1 - h.Share) / h.Share)
+}
+
+func (h *Hog) run(e *sim.Engine, c *sim.Core) {
+	if h.stopped {
+		return
+	}
+	slice := h.Slice
+	if slice > h.Remaining {
+		slice = h.Remaining
+	}
+	c.Charge(slice)
+	h.Remaining -= slice
+	if h.Remaining > 0 {
+		e.OnCore(h.Core, c.Now()+h.gap(), h.run)
+		return
+	}
+	if h.Done != nil {
+		h.Done(c.Now())
+	}
+}
+
+// MakeJob models the paper's parallel kernel build: two parallel phases
+// over a set of cores, separated by a serial single-core phase ("the
+// kernel make process has two parallel phases separated by a
+// multi-second serial process"). Flow-group migration therefore has to
+// adapt twice.
+type MakeJob struct {
+	Cores []int
+	// PhaseWork is per-core work in each parallel phase.
+	PhaseWork sim.Cycles
+	// SerialWork runs on Cores[0] between the phases.
+	SerialWork sim.Cycles
+	Slice      sim.Cycles
+	// Share is each job's CFS share against user-space work (see Hog).
+	Share float64
+	// Done receives the completion time of the whole job.
+	Done func(at sim.Time)
+
+	// PhaseStarted, if set, is called as each parallel phase begins
+	// (1-based), letting experiments observe migration behaviour.
+	PhaseStarted func(phase int, at sim.Time)
+
+	remaining int
+	phase     int
+}
+
+// Start launches phase 1.
+func (m *MakeJob) Start(e *sim.Engine) {
+	if len(m.Cores) == 0 {
+		panic("sched: MakeJob needs cores")
+	}
+	m.phase = 1
+	if m.PhaseStarted != nil {
+		m.PhaseStarted(1, e.Now())
+	}
+	m.startPhase(e)
+}
+
+func (m *MakeJob) startPhase(e *sim.Engine) {
+	m.remaining = len(m.Cores)
+	var phaseEnd sim.Time
+	for _, coreID := range m.Cores {
+		h := &Hog{Core: coreID, Remaining: m.PhaseWork, Slice: m.Slice, Share: m.Share}
+		h.Done = func(at sim.Time) {
+			if at > phaseEnd {
+				phaseEnd = at
+			}
+			m.remaining--
+			if m.remaining == 0 {
+				m.phaseDone(e, phaseEnd)
+			}
+		}
+		h.Start(e)
+	}
+}
+
+func (m *MakeJob) phaseDone(e *sim.Engine, at sim.Time) {
+	switch m.phase {
+	case 1:
+		m.phase = 2
+		serial := &Hog{Core: m.Cores[0], Remaining: m.SerialWork, Slice: m.Slice, Share: m.Share}
+		serial.Done = func(sat sim.Time) {
+			if m.PhaseStarted != nil {
+				m.PhaseStarted(2, sat)
+			}
+			m.startPhase(e)
+		}
+		serial.Start(e)
+	case 2:
+		if m.Done != nil {
+			m.Done(at)
+		}
+	}
+}

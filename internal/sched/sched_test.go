@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+
+	"affinityaccept/internal/sim"
+)
+
+func TestHogCompletesAndReportsTime(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	var done sim.Time
+	h := &Hog{Core: 0, Remaining: 1_000_000, Slice: 100_000,
+		Done: func(at sim.Time) { done = at }}
+	h.Start(e)
+	e.Run(1 << 40)
+	if done != 1_000_000 {
+		t.Fatalf("greedy hog finished at %d, want exactly its work", done)
+	}
+}
+
+func TestHogSharePacing(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	var done sim.Time
+	h := &Hog{Core: 0, Remaining: 1_000_000, Slice: 100_000, Share: 0.5,
+		Done: func(at sim.Time) { done = at }}
+	h.Start(e)
+	e.Run(1 << 40)
+	// At 50% share the hog yields one slice-gap per slice: ~2x runtime
+	// minus the final gap.
+	if done < 1_800_000 || done > 2_000_000 {
+		t.Fatalf("paced hog finished at %d, want ~1.9M", done)
+	}
+}
+
+func TestHogInterleavesWithOtherWork(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	var hogDone, otherRan sim.Time
+	h := &Hog{Core: 0, Remaining: 1_000_000, Slice: 100_000,
+		Done: func(at sim.Time) { hogDone = at }}
+	h.Start(e)
+	e.OnCore(0, 50_000, func(_ *sim.Engine, c *sim.Core) {
+		c.Charge(200_000)
+		otherRan = c.Now()
+	})
+	e.Run(1 << 40)
+	if otherRan == 0 || otherRan >= hogDone {
+		t.Fatalf("competing work starved: other=%d hog=%d", otherRan, hogDone)
+	}
+	if hogDone != 1_200_000 {
+		t.Fatalf("hog end = %d, want work+interference", hogDone)
+	}
+}
+
+func TestHogStop(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	called := false
+	h := &Hog{Core: 0, Remaining: 1 << 40, Slice: 1000,
+		Done: func(sim.Time) { called = true }}
+	h.Start(e)
+	e.Run(10_000)
+	h.Stop()
+	e.Run(100_000)
+	if called {
+		t.Fatal("stopped hog still completed")
+	}
+	c := e.Cores[0]
+	if c.BusyCycles() > 20_000 {
+		t.Fatalf("stopped hog kept burning: %d", c.BusyCycles())
+	}
+}
+
+func TestMakeJobPhases(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 4, Seed: 1})
+	var phases []int
+	var done sim.Time
+	job := &MakeJob{
+		Cores:      []int{0, 1, 2, 3},
+		PhaseWork:  1_000_000,
+		SerialWork: 500_000,
+		Done:       func(at sim.Time) { done = at },
+		PhaseStarted: func(p int, at sim.Time) {
+			phases = append(phases, p)
+		},
+	}
+	job.Start(e)
+	e.Run(1 << 40)
+	if len(phases) != 2 || phases[0] != 1 || phases[1] != 2 {
+		t.Fatalf("phases: %v", phases)
+	}
+	// Two parallel phases (1M each, on idle cores) + 0.5M serial.
+	if done != 2_500_000 {
+		t.Fatalf("make finished at %d, want 2.5M", done)
+	}
+}
+
+func TestMakeJobNeedsCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&MakeJob{}).Start(sim.New(sim.Config{Cores: 1, Seed: 1}))
+}
+
+func TestDeferUserCapsRate(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	c := e.Cores[0]
+	c.UserShare = 0.25
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		start := c.Now()
+		c.Charge(100_000)
+		next := c.DeferUser(start)
+		// 100k of work at 25% share defers the next turn 300k out.
+		if next != c.Now()+300_000 {
+			t.Errorf("next eligible = %d, want now+300k", next)
+		}
+	})
+	e.Run(1 << 30)
+}
+
+func TestDeferUserUnconstrained(t *testing.T) {
+	e := sim.New(sim.Config{Cores: 1, Seed: 1})
+	e.OnCore(0, 0, func(_ *sim.Engine, c *sim.Core) {
+		start := c.Now()
+		c.Charge(100_000)
+		if next := c.DeferUser(start); next != c.Now() {
+			t.Errorf("unconstrained core deferred to %d", next)
+		}
+		if c.UserEligibleAt() != c.Now() {
+			t.Error("eligibility should be now")
+		}
+	})
+	e.Run(1 << 30)
+}

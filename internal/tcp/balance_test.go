@@ -1,0 +1,182 @@
+package tcp
+
+import (
+	"testing"
+
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/sim"
+)
+
+// TestMigrationMovesFlowGroupsAwayFromStarvedCore drives an end-to-end
+// imbalance: core 1 has almost no CPU for user work, its accept queue
+// backs up, core 0 steals, and the periodic balancer re-points core 1's
+// flow groups at core 0.
+func TestMigrationMovesFlowGroupsAwayFromStarvedCore(t *testing.T) {
+	s := NewStack(Config{
+		Machine:    mem.AMD48().WithCores(2),
+		Listen:     AffinityAccept,
+		FlowGroups: 16,
+		Backlog:    16,
+		Seed:       9,
+	})
+	s.Cfg.MigrateEvery = s.Eng.Millis(5)
+	s.Eng.Cores[1].UserShare = 0.02
+
+	// A minimal app: every readiness signal wakes bounded, share-paced
+	// accept turns on both cores (mirroring how the real app models
+	// wake local waiters and non-busy remotes).
+	drain := func(e *sim.Engine, c *sim.Core) {
+		start := c.Now()
+		for i := 0; i < 2; i++ {
+			if conn := s.Accept(c); conn == nil {
+				break
+			}
+		}
+		c.DeferUser(start)
+	}
+	s.App = &funcApp{
+		ready: func(k *K, coreID int) {
+			for target := 0; target < 2; target++ {
+				at := k.Core().Now()
+				if el := k.Engine().Cores[target].UserEligibleAt(); el > at {
+					at = el
+				}
+				k.Engine().OnCore(target, at, drain)
+			}
+		},
+	}
+
+	groupsBefore := s.FlowTable().GroupCount()[1]
+	s.Start()
+	// Stream connections into core 1's flow groups.
+	port := uint16(1)
+	var tick func(e *sim.Engine, _ *sim.Core)
+	tick = func(e *sim.Engine, _ *sim.Core) {
+		if s.FlowTable().GroupCount()[1] == 0 {
+			// Migration already drained the starved core completely.
+			return
+		}
+		for i := 0; i < 4; i++ {
+			tries := 0
+			for s.FlowTable().CoreForPort(port) != 1 {
+				port++
+				if tries++; tries > 1<<17 {
+					return
+				}
+			}
+			key := keyForCore(s, 1)
+			key.SrcPort = port
+			port++
+			conn := s.NewConn(key, nil)
+			s.ClientSend(e, conn, PktSYN, 66, 0, 0)
+			// Complete the handshake shortly after.
+			e.After(s.Eng.Millis(1), func(e *sim.Engine, _ *sim.Core) {
+				if conn.State == StateSynRcvd {
+					s.ClientSend(e, conn, PktACK3, 66, 0, 0)
+				}
+			})
+		}
+		e.After(s.Eng.Millis(2), tick)
+	}
+	s.Eng.After(0, tick)
+	s.Deliver = func(*sim.Engine, *Conn, uint8, int) {}
+	s.Eng.Run(s.Eng.CyclesOf(0.3))
+
+	groupsAfter := s.FlowTable().GroupCount()[1]
+	if s.Queues().Steals == 0 {
+		t.Fatal("no stealing despite starved core")
+	}
+	if s.Stats.FDirMigrations == 0 {
+		t.Fatal("no flow-group migrations")
+	}
+	if groupsAfter >= groupsBefore {
+		t.Fatalf("groups on starved core went %d -> %d, want fewer", groupsBefore, groupsAfter)
+	}
+}
+
+// funcApp adapts plain functions to the App interface.
+type funcApp struct {
+	ready func(k *K, coreID int)
+}
+
+func (f *funcApp) ConnReady(k *K, coreID int) {
+	if f.ready != nil {
+		f.ready(k, coreID)
+	}
+}
+func (f *funcApp) ConnReadable(*K, *Conn) {}
+func (f *funcApp) ConnClosed(*K, *Conn)   {}
+
+// TestSoftwareRFSRoutesToSendmsgCore checks the §7.2 extension: after a
+// sendmsg on one core, subsequent packets for the flow are processed
+// there, with the packet buffer homed on the routing core.
+func TestSoftwareRFSRoutesToSendmsgCore(t *testing.T) {
+	s := NewStack(Config{
+		Machine:     mem.AMD48().WithCores(4),
+		Listen:      StockAccept,
+		SoftwareRFS: true,
+		Seed:        9,
+	})
+	s.App = &funcApp{}
+	conn := handshake(t, s, 1) // packets land on core 1
+	var accepted *Conn
+	s.Eng.OnCore(3, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		accepted = s.Accept(c)
+	})
+	runFor(s, 0.01)
+	if accepted == nil {
+		t.Fatal("accept failed")
+	}
+	// Train the steering table: sendmsg from core 3.
+	s.Eng.OnCore(3, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		s.Writev(c, conn, 100)
+	})
+	runFor(s, 0.01)
+
+	// The next request is received on core 1 but must be processed on
+	// core 3 via the software routing step.
+	s.ClientSend(s.Eng, conn, PktREQ, 400, 500, 1)
+	runFor(s, 0.01)
+	if s.Stats.RFSRouted == 0 {
+		t.Fatal("packet was not software-routed")
+	}
+	if conn.SoftirqCore != 3 {
+		t.Fatalf("protocol processing ran on core %d, want 3", conn.SoftirqCore)
+	}
+	if !conn.Readable() {
+		t.Fatal("request lost in routing")
+	}
+}
+
+// TestNICModePerFlowFallsBackToRSS: without a trained FDir entry,
+// per-flow mode spreads by RSS over at most 16 rings.
+func TestNICModePerFlowFallsBackToRSS(t *testing.T) {
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(24),
+		Listen:  StockAccept,
+		NICMode: nic.ModePerFlowFDir,
+		Seed:    9,
+	})
+	s.App = &funcApp{}
+	s.Deliver = func(*sim.Engine, *Conn, uint8, int) {}
+	seen := map[int]bool{}
+	for p := 1; p < 200; p++ {
+		key := keyForCore(s, 0)
+		key.SrcPort = uint16(p * 97)
+		conn := s.NewConn(key, nil)
+		s.ClientSend(s.Eng, conn, PktSYN, 66, 0, 0)
+		runFor(s, 0.0005)
+		if conn.SoftirqCore >= 0 {
+			seen[conn.SoftirqCore] = true
+		}
+	}
+	for c := range seen {
+		if c >= 16 {
+			t.Fatalf("RSS fallback delivered to ring %d (>15)", c)
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("RSS fallback used only %d rings", len(seen))
+	}
+}

@@ -1,0 +1,57 @@
+package tcp
+
+import (
+	"affinityaccept/internal/core"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/sim"
+)
+
+// Client-facing API: the workload generator creates connections and
+// injects packets on the wire; the stack delivers responses through the
+// Deliver callback.
+
+// NewConn registers a new client connection handle. The connection does
+// not exist server-side until its SYN is processed.
+func (s *Stack) NewConn(key core.FlowKey, clientData interface{}) *Conn {
+	conn := &Conn{
+		Key:          key,
+		State:        StateNew,
+		SoftirqCore:  -1,
+		AppCore:      -1,
+		reqTableCore: -1,
+		rfsCore:      -1,
+		ClientData:   clientData,
+	}
+	s.liveConns[conn] = struct{}{}
+	return conn
+}
+
+// ClientSend puts a client packet on the wire; it reaches the server's
+// NIC half an RTT later. respBytes rides along on request packets to
+// tell the simulated server how large a response to produce; seq is the
+// client's request serial, used server-side to discard retransmitted
+// segments already received.
+func (s *Stack) ClientSend(e *sim.Engine, conn *Conn, kind uint8, bytes, respBytes, seq int) {
+	pkt := &nic.Packet{
+		Key:   conn.Key,
+		Bytes: bytes,
+		Kind:  kind,
+		Conn:  conn,
+		Seq:   uint32(seq),
+		Aux:   uint32(respBytes),
+	}
+	e.After(s.Cfg.Costs.HalfRTT, func(e *sim.Engine, _ *sim.Core) {
+		s.NIC.Rx(e, pkt)
+	})
+}
+
+// ClientAbort abandons a connection from the client side (httperf's
+// 10-second give-up in §6.5): a FIN/RST travels to the server and
+// whatever state exists is torn down through the normal paths.
+func (s *Stack) ClientAbort(e *sim.Engine, conn *Conn) {
+	if conn.State == StateClosed {
+		return
+	}
+	conn.aborted = true
+	s.ClientSend(e, conn, PktFIN, s.Cfg.Costs.AckBytes, 0, 0)
+}

@@ -1,0 +1,159 @@
+package tcp
+
+import "affinityaccept/internal/sim"
+
+// Op is the base cost of one kernel operation: cycles of execution with
+// all data in L1, and retired instructions. The memory model adds
+// cache-transfer cycles on top; those additions are where the
+// Fine-vs-Affinity differences come from.
+type Op struct {
+	Cycles sim.Cycles
+	Instr  uint64
+}
+
+// Costs collects every tunable base cost of the simulated kernel.
+// Calibration targets, from the paper's evaluation on the AMD machine:
+// ~12–13k requests/sec/core for Apache at low core counts, ~60–70k
+// cycles of softirq work per request under Affinity-Accept, and
+// Stock-Accept's listen socket serializing around 10–15k conn/sec.
+type Costs struct {
+	// Softirq per-packet work (driver, IP, TCP demux) and per-kind extras.
+	SoftirqBase Op
+	SynExtra    Op
+	Ack3Extra   Op
+	ReqExtra    Op
+	AckProc     Op
+	FinExtra    Op
+	RespTx      Op
+
+	// Syscall base costs.
+	Accept      Op
+	Read        Op
+	Writev      Op
+	Poll        Op
+	PollPerFD   Op
+	Epoll       Op
+	Futex       Op
+	Schedule    Op
+	Shutdown    Op
+	Close       Op
+	Fcntl       Op
+	Getsockname Op
+	RCU         Op
+
+	// Allocation and copy work.
+	SkbWork          Op
+	SockAllocWork    Op
+	CopyPerByteMilli int // milli-cycles per byte copied on read
+	CopyTxPerByteMil int // milli-cycles per byte copied+checksummed on writev
+
+	// Lock behaviour.
+	SockLockSpinLimit sim.Cycles // spin-then-sleep threshold of the listen socket lock
+	MutexHandoff      sim.Cycles // dead time handing a mutex-mode lock to a parked waiter
+	LockStatOverhead  sim.Cycles // per lock op when lock_stat is enabled
+	// StockLockWork is the extra work Stock-Accept performs inside each
+	// listen-socket critical section (request-table scan, accept-queue
+	// manipulation, wakeups — all serialized under the single lock in
+	// unmodified Linux; the clone designs do the same work outside any
+	// global lock).
+	StockLockWork sim.Cycles
+
+	// Wire parameters.
+	HalfRTT    sim.Cycles
+	MSS        int
+	HeaderWire int // per-packet wire overhead (eth+ip+tcp)
+	RespHeader int // HTTP response header bytes
+	ReqBytes   int // HTTP request size on the wire
+	AckBytes   int // pure-ack wire size
+
+	// HerdWakeups is how many extra pollers a Stock/Fine listen socket
+	// wakes per new connection (Affinity-Accept wakes local ones only).
+	HerdWakeups int
+
+	// User-space application work per request.
+	ApacheUserWork   sim.Cycles
+	LighttpdUserWork sim.Cycles
+
+	// SockTouchRepeat is how many times each hot socket field is
+	// re-touched per operation (Linux crosses these lines many times per
+	// packet; repeats hit L1, so they add little local cost but make the
+	// absolute shared-access cycle counts realistic).
+	SockTouchRepeat int
+
+	// Cold working-set walks: capacity misses per operation, matching
+	// the magnitude of the paper's Table 3 L2-miss counters. The
+	// coherence model's caches are infinite, so capacity misses are
+	// charged explicitly and drawn through the chip memory controllers.
+	SoftirqColdPerPkt int
+	ReadCold          int
+	WritevCold        int
+	AcceptCold        int // per accepted connection
+	PollCold          int
+	FutexCold         int
+	ScheduleCold      int
+	CloseCold         int // per closed connection
+	UserColdApache    int // per request, in application code
+	UserColdLighttpd  int
+}
+
+// DefaultCosts returns the calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		SoftirqBase: Op{9000, 7500},
+		SynExtra:    Op{7000, 5000},
+		Ack3Extra:   Op{12000, 9000},
+		ReqExtra:    Op{7000, 5500},
+		AckProc:     Op{3500, 2800},
+		FinExtra:    Op{7000, 5000},
+		RespTx:      Op{4000, 3200},
+
+		Accept:      Op{14000, 9000},
+		Read:        Op{7000, 3600},
+		Writev:      Op{9000, 4000},
+		Poll:        Op{6000, 3500},
+		PollPerFD:   Op{400, 300},
+		Epoll:       Op{1800, 560},
+		Futex:       Op{5000, 2600},
+		Schedule:    Op{4200, 2700},
+		Shutdown:    Op{5500, 2800},
+		Close:       Op{4200, 1900},
+		Fcntl:       Op{375, 275},
+		Getsockname: Op{700, 277},
+		RCU:         Op{650, 200},
+
+		SkbWork:          Op{900, 700},
+		SockAllocWork:    Op{2500, 1800},
+		CopyPerByteMilli: 400, // 0.4 cycles/byte
+		CopyTxPerByteMil: 600,
+
+		SockLockSpinLimit: 24_000, // ~10 us before the socket lock sleeps
+		MutexHandoff:      16_000, // ~7 us to wake and run the next waiter
+		StockLockWork:     26_000,
+		LockStatOverhead:  90,
+
+		HalfRTT:    120_000, // 50 us each way
+		MSS:        1448,
+		HeaderWire: 66,
+		RespHeader: 250,
+		ReqBytes:   400,
+		AckBytes:   66,
+
+		HerdWakeups: 1,
+
+		ApacheUserWork:   60_000,
+		LighttpdUserWork: 18_000,
+
+		SockTouchRepeat: 3,
+
+		SoftirqColdPerPkt: 28,
+		ReadCold:          14,
+		WritevCold:        16,
+		AcceptCold:        60,
+		PollCold:          10,
+		FutexCold:         10,
+		ScheduleCold:      10,
+		CloseCold:         40,
+		UserColdApache:    65,
+		UserColdLighttpd:  30,
+	}
+}

@@ -1,0 +1,144 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinityaccept/internal/core"
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/sim"
+)
+
+// TestRandomTrafficInvariants drives the stack with arbitrary interleaved
+// client behaviour — SYNs, handshake acks, requests, retransmissions,
+// FINs and aborts in random order across random cores — under an app
+// that accepts and serves sporadically, and checks global invariants.
+func TestRandomTrafficInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, kind := range []ListenKind{StockAccept, FineAccept, AffinityAccept} {
+			if !randomTrafficRun(t, rng, kind) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTrafficRun(t *testing.T, rng *rand.Rand, kind ListenKind) bool {
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(4),
+		Listen:  kind,
+		Backlog: 16,
+		Seed:    rng.Int63(),
+	})
+	// A lazy app: accepts and serves on random wakeups only.
+	s.App = &funcApp{ready: func(k *K, coreID int) {
+		target := coreID
+		if target < 0 {
+			target = k.Core().ID
+		}
+		k.Engine().OnCore(target, k.Core().Now(), func(e *sim.Engine, c *sim.Core) {
+			for {
+				conn := s.Accept(c)
+				if conn == nil {
+					return
+				}
+				for {
+					req, ok := s.Read(c, conn)
+					if !ok {
+						break
+					}
+					s.Writev(c, conn, req.RespBytes)
+				}
+			}
+		})
+	}}
+	s.Deliver = func(*sim.Engine, *Conn, uint8, int) {}
+	s.Start()
+
+	conns := make([]*Conn, 0, 32)
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3 || len(conns) == 0: // new SYN
+			key := core.FlowKey{
+				Proto:   6,
+				SrcIP:   rng.Uint32(),
+				DstIP:   1,
+				SrcPort: uint16(rng.Intn(65535) + 1),
+				DstPort: 80,
+			}
+			c := s.NewConn(key, nil)
+			conns = append(conns, c)
+			s.ClientSend(s.Eng, c, PktSYN, 66, 0, 0)
+		default:
+			c := conns[rng.Intn(len(conns))]
+			switch rng.Intn(5) {
+			case 0:
+				s.ClientSend(s.Eng, c, PktACK3, 66, 0, 0)
+			case 1:
+				s.ClientSend(s.Eng, c, PktREQ, 400, rng.Intn(3000)+30, rng.Intn(4)+1)
+			case 2:
+				s.ClientSend(s.Eng, c, PktACKData, 66, 0, 0)
+			case 3:
+				s.ClientSend(s.Eng, c, PktFIN, 66, 0, 0)
+			case 4:
+				s.ClientAbort(s.Eng, c)
+			}
+		}
+		s.Eng.Run(s.Eng.Now() + s.Eng.Micros(200))
+	}
+	// Let everything settle, then close whatever the app still owns.
+	s.Eng.Run(s.Eng.Now() + s.Eng.CyclesOf(0.05))
+	for _, c := range conns {
+		if c.State == StateAccepted {
+			conn := c
+			s.Eng.OnCore(conn.AppCore, s.Eng.Now(), func(e *sim.Engine, cc *sim.Core) {
+				if conn.State == StateAccepted {
+					s.CloseConn(cc, conn)
+				}
+			})
+		}
+	}
+	s.Eng.Run(s.Eng.Now() + s.Eng.CyclesOf(0.05))
+
+	// Invariants.
+	st := s.Stats
+	if st.ConnsAccepted > uint64(len(conns)) {
+		t.Logf("%v: accepted %d > created %d", kind, st.ConnsAccepted, len(conns))
+		return false
+	}
+	for _, c := range conns {
+		switch c.State {
+		case StateClosed, StateNew, StateSynRcvd, StateQueued, StateAccepted:
+		default:
+			t.Logf("%v: invalid state %v", kind, c.State)
+			return false
+		}
+		if c.State == StateClosed && (c.sock != nil || c.fd != nil || c.reqSock != nil) {
+			t.Logf("%v: closed conn retains kernel objects", kind)
+			return false
+		}
+	}
+	// Accept-queue accounting: nothing left queued should exceed bounds.
+	q := s.Queues()
+	for coreID := 0; coreID < 4; coreID++ {
+		if q.Len(coreID) > q.MaxLocalLen() {
+			t.Logf("%v: queue %d over capacity", kind, coreID)
+			return false
+		}
+	}
+	// The allocator balances except for per-stack global objects and
+	// state still held by live connections.
+	live := s.LiveConns()
+	if st.ConnsClosed+uint64(len(live)) < uint64(len(conns))/2 {
+		t.Logf("%v: connections unaccounted: closed=%d live=%d created=%d",
+			kind, st.ConnsClosed, len(live), len(conns))
+		return false
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package tcp
+
+import (
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/perfctr"
+	"affinityaccept/internal/sim"
+)
+
+// Software Receive Flow Steering (the paper's §7.2: Google's RFS patch
+// for Linux). Instead of steering in the NIC, every core receiving a
+// packet does a minimal routing step — extract the flow hash, look up
+// the destination core in a software table populated by sendmsg(), and
+// append the packet to that core's backlog — and the destination core
+// performs the real protocol processing. The paper's critique, which
+// the model reproduces: the routing work costs CPU on every packet, the
+// backlog handoff bounces cache lines, and packet buffers allocated on
+// the routing core are freed on the destination core ("our analysis of
+// RFS ... points to remote memory deallocation of packet buffers as
+// part of the problem").
+
+// rfsRouteCost is the routing core's per-packet work: demux, table
+// lookup, backlog append, IPI.
+var rfsRouteCost = Op{2600, 2100}
+
+// rfsRoute intercepts a packet on the receiving (routing) core and
+// re-dispatches protocol processing to the flow's destination core. It
+// reports whether the packet was rerouted.
+func (s *Stack) rfsRoute(e *sim.Engine, c *sim.Core, pkt *nic.Packet) bool {
+	if !s.Cfg.SoftwareRFS {
+		return false
+	}
+	conn := pkt.Conn.(*Conn)
+	// Only established-flow traffic has a sendmsg()-trained entry; new
+	// connections are processed where they land.
+	if conn.rfsCore < 0 || conn.rfsCore == c.ID {
+		return false
+	}
+	switch pkt.Kind {
+	case PktREQ, PktACKData, PktFIN:
+	default:
+		return false
+	}
+
+	k := s.Enter(c, perfctr.SoftirqNetRX)
+	k.Work(rfsRouteCost)
+	// The software steering table and the destination backlog head are
+	// written from every routing core: both lines bounce.
+	k.Touch(s.rfsTable, s.rfsTableField(conn), false)
+	k.Touch(s.per[conn.rfsCore].runqueue, 0, true)
+	k.Leave()
+
+	dest := conn.rfsCore
+	routedFrom := c.ID
+	e.OnCore(dest, c.Now(), func(e *sim.Engine, c2 *sim.Core) {
+		// Packet buffers were DMA'd into the routing core's memory;
+		// everything the destination core allocates for this packet
+		// lives remotely and will be freed remotely.
+		s.skbAllocHome = routedFrom
+		s.deliver(e, c2, pkt)
+		s.skbAllocHome = -1
+	})
+	s.Stats.RFSRouted++
+	return true
+}
+
+// rfsTableField maps a connection to its steering-table cache line.
+func (s *Stack) rfsTableField(conn *Conn) mem.FieldID {
+	return mem.FieldID(int(conn.Key.Hash()) % reqhashLines)
+}
+
+// rfsNoteSend records the sendmsg() core in the software steering
+// table, as the RFS patch does on every sendmsg.
+func (s *Stack) rfsNoteSend(k *K, conn *Conn) {
+	if !s.Cfg.SoftwareRFS {
+		return
+	}
+	if conn.rfsCore != k.c.ID {
+		conn.rfsCore = k.c.ID
+		k.Touch(s.rfsTable, s.rfsTableField(conn), true)
+	}
+}

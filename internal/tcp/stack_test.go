@@ -1,0 +1,481 @@
+package tcp
+
+import (
+	"testing"
+
+	"affinityaccept/internal/core"
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/nic"
+	"affinityaccept/internal/sim"
+)
+
+// testApp records stack callbacks and optionally drives accepts.
+type testApp struct {
+	s         *Stack
+	ready     []int
+	readable  []*Conn
+	closed    []*Conn
+	autoDrain bool
+}
+
+func (a *testApp) ConnReady(k *K, coreID int) {
+	a.ready = append(a.ready, coreID)
+	if !a.autoDrain {
+		return
+	}
+	target := coreID
+	if target < 0 {
+		target = k.Core().ID
+	}
+	k.Engine().OnCore(target, k.Core().Now(), func(e *sim.Engine, c *sim.Core) {
+		for {
+			conn := a.s.Accept(c)
+			if conn == nil {
+				return
+			}
+		}
+	})
+}
+
+func (a *testApp) ConnReadable(k *K, conn *Conn) { a.readable = append(a.readable, conn) }
+func (a *testApp) ConnClosed(k *K, conn *Conn)   { a.closed = append(a.closed, conn) }
+
+// runFor advances the simulation by a relative number of seconds.
+func runFor(s *Stack, sec float64) {
+	s.Eng.Run(s.Eng.Now() + s.Eng.CyclesOf(sec))
+}
+
+func testStack(t *testing.T, kind ListenKind, cores int) (*Stack, *testApp) {
+	t.Helper()
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(cores),
+		Listen:  kind,
+		Seed:    1,
+	})
+	app := &testApp{s: s}
+	s.App = app
+	return s, app
+}
+
+// key with a source port steered to the given core under flow groups.
+func keyForCore(s *Stack, coreID int) core.FlowKey {
+	for p := 1; p < 65535; p++ {
+		if s.flow.CoreForPort(uint16(p)) == coreID {
+			return core.FlowKey{Proto: 6, SrcIP: 0x0a000001, DstIP: 0x0a00ffff,
+				SrcPort: uint16(p), DstPort: 80}
+		}
+	}
+	panic("no port steers to core")
+}
+
+// handshake drives SYN -> SYNACK -> ACK3 and returns the connection.
+func handshake(t *testing.T, s *Stack, coreID int) *Conn {
+	t.Helper()
+	var gotSynAck bool
+	conn := s.NewConn(keyForCore(s, coreID), nil)
+	s.Deliver = func(e *sim.Engine, c *Conn, kind uint8, bytes int) {
+		if kind == PktSYNACK && c == conn && !gotSynAck {
+			gotSynAck = true
+			s.ClientSend(e, conn, PktACK3, 66, 0, 0)
+		}
+	}
+	s.ClientSend(s.Eng, conn, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+	if !gotSynAck {
+		t.Fatal("no SYN-ACK delivered")
+	}
+	return conn
+}
+
+func TestHandshakeQueuesConnection(t *testing.T) {
+	s, app := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 3)
+	if conn.State != StateQueued {
+		t.Fatalf("state = %v, want queued", conn.State)
+	}
+	if conn.SoftirqCore != 3 {
+		t.Fatalf("softirq core = %d, want 3 (flow steering)", conn.SoftirqCore)
+	}
+	if len(app.ready) != 1 || app.ready[0] != 3 {
+		t.Fatalf("ConnReady calls: %v, want [3]", app.ready)
+	}
+	if s.Queues().Len(3) != 1 {
+		t.Fatal("connection not in core 3's accept queue")
+	}
+}
+
+func TestAcceptLocalAffinity(t *testing.T) {
+	s, _ := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 2)
+	var accepted *Conn
+	s.Eng.OnCore(2, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		accepted = s.Accept(c)
+	})
+	runFor(s, 0.02)
+	if accepted != conn {
+		t.Fatal("local accept did not return the queued connection")
+	}
+	if conn.State != StateAccepted || conn.AppCore != 2 {
+		t.Fatalf("state=%v appcore=%d", conn.State, conn.AppCore)
+	}
+	if !conn.Local() {
+		t.Fatal("connection should be local (softirq core == app core)")
+	}
+	if s.Stats.ConnsAccepted != 1 {
+		t.Fatalf("accept count %d", s.Stats.ConnsAccepted)
+	}
+}
+
+func TestStockAcceptAnyCore(t *testing.T) {
+	s, app := testStack(t, StockAccept, 6)
+	conn := handshake(t, s, 2)
+	if len(app.ready) != 1 || app.ready[0] != -1 {
+		t.Fatalf("stock ConnReady should pass -1, got %v", app.ready)
+	}
+	var accepted *Conn
+	s.Eng.OnCore(5, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		accepted = s.Accept(c)
+	})
+	runFor(s, 0.02)
+	if accepted != conn {
+		t.Fatal("stock accept from another core failed")
+	}
+	if conn.Local() {
+		t.Fatal("cross-core accept should not be local")
+	}
+}
+
+func TestRequestReadWriteRoundTrip(t *testing.T) {
+	s, app := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 1)
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		s.Accept(c)
+	})
+	runFor(s, 0.02)
+
+	var gotResp int
+	s.Deliver = func(e *sim.Engine, c *Conn, kind uint8, bytes int) {
+		if kind == PktRESP {
+			gotResp = bytes
+		}
+	}
+	s.ClientSend(s.Eng, conn, PktREQ, 400, 2000, 1)
+	runFor(s, 0.03)
+	if len(app.readable) == 0 {
+		t.Fatal("no ConnReadable callback")
+	}
+
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		req, ok := s.Read(c, conn)
+		if !ok {
+			t.Error("read returned no data")
+			return
+		}
+		if req.RespBytes != 2000 {
+			t.Errorf("respBytes = %d", req.RespBytes)
+		}
+		s.Writev(c, conn, req.RespBytes)
+	})
+	runFor(s, 0.05)
+	if gotResp != 2000 {
+		t.Fatalf("client got %d response bytes, want 2000", gotResp)
+	}
+	if s.Stats.Requests != 1 || s.Stats.RequestsLocal != 1 {
+		t.Fatalf("requests=%d local=%d", s.Stats.Requests, s.Stats.RequestsLocal)
+	}
+	// Multi-segment response: 2000+250 header = 2 MSS segments.
+	if s.NIC.Stats.TxPackets < 3 { // SYNACK + 2 data segments
+		t.Fatalf("tx packets = %d", s.NIC.Stats.TxPackets)
+	}
+}
+
+func TestDuplicateRequestDiscarded(t *testing.T) {
+	s, _ := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 1)
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) { s.Accept(c) })
+	runFor(s, 0.02)
+	s.ClientSend(s.Eng, conn, PktREQ, 400, 1000, 1)
+	s.ClientSend(s.Eng, conn, PktREQ, 400, 1000, 1) // retransmission
+	runFor(s, 0.03)
+	if got := len(conn.rxPending); got != 1 {
+		t.Fatalf("pending requests = %d, want 1 (duplicate dropped)", got)
+	}
+}
+
+func TestCloseReleasesEverything(t *testing.T) {
+	s, app := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 1)
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) { s.Accept(c) })
+	runFor(s, 0.02)
+	s.ClientSend(s.Eng, conn, PktFIN, 66, 0, 0)
+	runFor(s, 0.02)
+	if len(app.closed) != 1 {
+		t.Fatal("no ConnClosed callback")
+	}
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		s.CloseConn(c, conn)
+	})
+	runFor(s, 0.02)
+	if conn.State != StateClosed {
+		t.Fatal("connection not closed")
+	}
+	if conn.sock != nil || conn.fd != nil {
+		t.Fatal("kernel objects not freed")
+	}
+	if len(s.LiveConns()) != 0 {
+		t.Fatal("connection still tracked")
+	}
+	if s.Mem.Allocs == s.Mem.Frees+3 { // global objects stay allocated
+		t.Log("allocation balance plausible")
+	}
+}
+
+func TestSynDropWhenQueueFull(t *testing.T) {
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(2),
+		Listen:  AffinityAccept,
+		Backlog: 2, // 1 per core
+		Seed:    1,
+	})
+	s.App = &testApp{s: s}
+	refused := 0
+	s.Deliver = func(e *sim.Engine, c *Conn, kind uint8, bytes int) {
+		if kind == PktRST {
+			refused++
+		}
+	}
+	// Two connections to the same core: second SYN must be refused
+	// (queue holds at most 1 and nobody accepts).
+	c1 := s.NewConn(keyForCore(s, 0), nil)
+	s.ClientSend(s.Eng, c1, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+	// Complete c1's handshake so it occupies the queue.
+	s.ClientSend(s.Eng, c1, PktACK3, 66, 0, 0)
+	runFor(s, 0.01)
+
+	k2 := keyForCore(s, 0)
+	k2.SrcPort += uint16(s.flow.Groups()) // same group, different port
+	c2 := s.NewConn(k2, nil)
+	s.ClientSend(s.Eng, c2, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+
+	if s.Stats.SynDrops != 1 || refused != 1 {
+		t.Fatalf("synDrops=%d refused=%d, want 1/1", s.Stats.SynDrops, refused)
+	}
+}
+
+func TestSilentOverflowSendsNothing(t *testing.T) {
+	s := NewStack(Config{
+		Machine:        mem.AMD48().WithCores(2),
+		Listen:         AffinityAccept,
+		Backlog:        2,
+		SilentOverflow: true,
+		Seed:           1,
+	})
+	s.App = &testApp{s: s}
+	resets := 0
+	s.Deliver = func(e *sim.Engine, c *Conn, kind uint8, bytes int) {
+		if kind == PktRST {
+			resets++
+		}
+	}
+	c1 := s.NewConn(keyForCore(s, 0), nil)
+	s.ClientSend(s.Eng, c1, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+	s.ClientSend(s.Eng, c1, PktACK3, 66, 0, 0)
+	runFor(s, 0.01)
+	k2 := keyForCore(s, 0)
+	k2.SrcPort += uint16(s.flow.Groups())
+	c2 := s.NewConn(k2, nil)
+	s.ClientSend(s.Eng, c2, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+	if s.Stats.SynDrops != 1 || resets != 0 {
+		t.Fatalf("synDrops=%d resets=%d, want 1/0", s.Stats.SynDrops, resets)
+	}
+	// The connection is still pending: a retried SYN can succeed after
+	// the queue drains.
+	if c2.State != StateNew {
+		t.Fatalf("silently dropped conn state = %v, want StateNew", c2.State)
+	}
+}
+
+func TestAbortedConnDiscardedAtAccept(t *testing.T) {
+	s, _ := testStack(t, AffinityAccept, 6)
+	conn := handshake(t, s, 1)
+	s.ClientAbort(s.Eng, conn)
+	runFor(s, 0.01)
+	var accepted *Conn
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		accepted = s.Accept(c)
+	})
+	runFor(s, 0.02)
+	if accepted != nil {
+		t.Fatal("aborted connection was accepted")
+	}
+	if conn.State != StateClosed {
+		t.Fatalf("aborted conn state = %v", conn.State)
+	}
+}
+
+func TestImplicitHandshakeAckFromData(t *testing.T) {
+	s, _ := testStack(t, AffinityAccept, 6)
+	conn := s.NewConn(keyForCore(s, 1), nil)
+	s.Deliver = func(e *sim.Engine, c *Conn, kind uint8, bytes int) {}
+	s.ClientSend(s.Eng, conn, PktSYN, 66, 0, 0)
+	runFor(s, 0.01)
+	// The ACK3 is lost; the first request must complete the handshake.
+	s.ClientSend(s.Eng, conn, PktREQ, 400, 500, 1)
+	runFor(s, 0.01)
+	if conn.State != StateQueued {
+		t.Fatalf("state = %v, want queued via implicit ack", conn.State)
+	}
+	if !conn.Readable() {
+		t.Fatal("request data lost during implicit handshake")
+	}
+}
+
+func TestFineAcceptRoundRobins(t *testing.T) {
+	s, _ := testStack(t, FineAccept, 6)
+	for i := 0; i < 3; i++ {
+		handshake(t, s, i)
+	}
+	got := map[*Conn]bool{}
+	s.Eng.OnCore(5, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		for {
+			conn := s.Accept(c)
+			if conn == nil {
+				break
+			}
+			got[conn] = true
+		}
+	})
+	runFor(s, 0.05)
+	if len(got) != 3 {
+		t.Fatalf("fine accept drained %d of 3 queues", len(got))
+	}
+}
+
+func TestStealingFromBusyCore(t *testing.T) {
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(2),
+		Listen:  AffinityAccept,
+		Backlog: 8, // 4 per core
+		Seed:    1,
+	})
+	s.App = &testApp{s: s}
+	// Overfill core 0's queue to mark it busy.
+	for i := 0; i < 5; i++ {
+		k := keyForCore(s, 0)
+		k.SrcPort += uint16(i * s.flow.Groups())
+		c := s.NewConn(k, nil)
+		s.ClientSend(s.Eng, c, PktSYN, 66, 0, 0)
+		runFor(s, 0.001)
+		s.ClientSend(s.Eng, c, PktACK3, 66, 0, 0)
+		runFor(s, 0.001)
+	}
+	if !s.Queues().Busy(0) {
+		t.Skip("core 0 not busy in this configuration")
+	}
+	var stolen *Conn
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		stolen = s.Accept(c)
+	})
+	runFor(s, 0.02)
+	if stolen == nil {
+		t.Fatal("idle core failed to steal from busy core")
+	}
+	if s.Queues().Steals == 0 {
+		t.Fatal("steal not counted")
+	}
+}
+
+func TestTwentyPolicyUpdatesFDir(t *testing.T) {
+	s := NewStack(Config{
+		Machine: mem.AMD48().WithCores(6),
+		Listen:  StockAccept,
+		NICMode: nic.ModePerFlowFDir,
+		Seed:    1,
+	})
+	app := &testApp{s: s}
+	s.App = app
+	conn := handshake(t, s, 1)
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) { s.Accept(c) })
+	runFor(s, 0.02)
+	// 21 single-segment responses: the 20th transmitted packet triggers
+	// one FDir insert.
+	s.Eng.OnCore(1, s.Eng.Now(), func(e *sim.Engine, c *sim.Core) {
+		for i := 0; i < 21; i++ {
+			s.Writev(c, conn, 100)
+		}
+	})
+	runFor(s, 0.05)
+	if s.NIC.Stats.FDirInserts < 1 {
+		t.Fatal("twenty-policy made no FDir updates")
+	}
+}
+
+func TestLockStatEnablesOverhead(t *testing.T) {
+	s := NewStack(Config{
+		Machine:  mem.AMD48().WithCores(2),
+		Listen:   StockAccept,
+		LockStat: true,
+		Seed:     1,
+	})
+	app := &testApp{s: s}
+	s.App = app
+	handshake(t, s, 0)
+	if s.listenLock.Overhead == 0 {
+		t.Fatal("lock_stat overhead not applied")
+	}
+	st := s.ListenLockStats()
+	if st.Acquisitions == 0 {
+		t.Fatal("no lock activity recorded")
+	}
+}
+
+func TestPerCoreRequestTableSurvivesCrossCoreAck(t *testing.T) {
+	s := NewStack(Config{
+		Machine:         mem.AMD48().WithCores(4),
+		Listen:          AffinityAccept,
+		ReqTablePerCore: true,
+		Seed:            1,
+	})
+	app := &testApp{s: s}
+	s.App = app
+	conn := s.NewConn(keyForCore(s, 2), nil)
+	s.Deliver = func(*sim.Engine, *Conn, uint8, int) {}
+	s.ClientSend(s.Eng, conn, PktSYN, 66, 0, 0)
+	runFor(s, 0.005)
+	// Migrate the flow group so the ACK lands on another core: the
+	// lookup must scan the other per-core tables (§5.2).
+	s.flow.Migrate(s.flow.GroupOf(conn.Key.SrcPort), 3)
+	s.ClientSend(s.Eng, conn, PktACK3, 66, 0, 0)
+	runFor(s, 0.005)
+	if conn.State != StateQueued {
+		t.Fatalf("cross-core ACK lost the request sock: state=%v", conn.State)
+	}
+	if conn.SoftirqCore != 3 {
+		t.Fatalf("softirq core = %d after migration", conn.SoftirqCore)
+	}
+}
+
+func TestTrackedTypesHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ti := range TrackedTypes() {
+		if seen[ti.Name] {
+			t.Fatalf("duplicate type name %s", ti.Name)
+		}
+		seen[ti.Name] = true
+	}
+	if !seen["tcp_sock"] || !seen["sk_buff"] {
+		t.Fatal("core types missing")
+	}
+}
+
+func TestListenKindString(t *testing.T) {
+	if StockAccept.String() != "Stock-Accept" ||
+		FineAccept.String() != "Fine-Accept" ||
+		AffinityAccept.String() != "Affinity-Accept" {
+		t.Fatal("kind names wrong")
+	}
+}

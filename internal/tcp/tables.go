@@ -1,0 +1,162 @@
+package tcp
+
+import (
+	"affinityaccept/internal/locks"
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/sim"
+)
+
+// reqTable is a listen socket's request hash table (SYN-received
+// connections). Affinity-Accept keeps a single table shared by all
+// clones, guarded by per-bucket locks (§5.2); the per-core variant
+// exists for the ablation that measured the shared design's ≤2% cost.
+type reqTable struct {
+	buckets [][]*Conn
+	locksB  *locks.BucketLocks
+	obj     *mem.Object // bucket-head cache lines
+	nlines  int
+}
+
+func newReqTable(m *mem.Model, nBuckets, homeCore int, name string) *reqTable {
+	if nBuckets < 8 {
+		nBuckets = 8
+	}
+	obj, _ := m.Alloc(homeCore, TypeReqHash)
+	return &reqTable{
+		buckets: make([][]*Conn, nBuckets),
+		locksB:  locks.NewBucketLocks(name, nBuckets),
+		obj:     obj,
+		nlines:  reqhashLines,
+	}
+}
+
+func (t *reqTable) setOverhead(ov sim.Cycles) { t.locksB.SetOverhead(ov) }
+
+func (t *reqTable) bucket(h uint32) int { return int(h) % len(t.buckets) }
+
+// headField maps a bucket to the cache line holding its head pointer.
+func (t *reqTable) headField(b int) mem.FieldID {
+	return mem.FieldID((b / 8) % t.nlines)
+}
+
+// insert adds a request socket under the bucket lock. When lockHeld is
+// true the caller already serializes (Stock-Accept's socket lock).
+func (t *reqTable) insert(k *K, conn *Conn, lockHeld bool) {
+	b := t.bucket(conn.Key.Hash())
+	do := func() {
+		k.Touch(t.obj, t.headField(b), true)
+		k.Touch(conn.reqSock, 0, true) // hash_chain
+		t.buckets[b] = append(t.buckets[b], conn)
+	}
+	if lockHeld {
+		do()
+		return
+	}
+	t.locksB.Bucket(uint64(b)).With(k.c, false, do)
+}
+
+// lookupRemove finds and unlinks a request socket; it reports whether
+// the connection was present.
+func (t *reqTable) lookupRemove(k *K, conn *Conn, lockHeld bool) bool {
+	b := t.bucket(conn.Key.Hash())
+	found := false
+	do := func() {
+		k.Touch(t.obj, t.headField(b), false)
+		lst := t.buckets[b]
+		for i, c := range lst {
+			// Walking the chain reads each entry's chain pointers.
+			k.Touch(c.reqSock, 0, false)
+			if c == conn {
+				lst[i] = lst[len(lst)-1]
+				t.buckets[b] = lst[:len(lst)-1]
+				k.Touch(t.obj, t.headField(b), true)
+				found = true
+				break
+			}
+		}
+	}
+	if lockHeld {
+		do()
+		return found
+	}
+	t.locksB.Bucket(uint64(b)).With(k.c, false, do)
+	return found
+}
+
+func (t *reqTable) lockStats() locks.Stats { return t.locksB.Stats() }
+
+// estabTable is the kernel's global established-connection hash table:
+// fine-grained bucket locks, chains of tcp_socks linked through their
+// chain-pointer fields. Chain walks by other cores are the residual
+// sharing Affinity-Accept cannot remove (§6.4: "the kernel adds
+// tcp_sock objects to global lists").
+type estabTable struct {
+	buckets [][]*Conn
+	locksB  *locks.BucketLocks
+	obj     *mem.Object
+}
+
+func newEstabTable(m *mem.Model, nBuckets int) *estabTable {
+	obj, _ := m.Alloc(0, TypeEhash)
+	return &estabTable{
+		buckets: make([][]*Conn, nBuckets),
+		locksB:  locks.NewBucketLocks("ehash", nBuckets),
+		obj:     obj,
+	}
+}
+
+func (t *estabTable) bucket(h uint32) int { return int(h) % len(t.buckets) }
+
+func (t *estabTable) headField(b int) mem.FieldID {
+	return mem.FieldID((b / 8) % ehashLines)
+}
+
+const chainWalkLimit = 3
+
+func (t *estabTable) insert(k *K, conn *Conn) {
+	b := t.bucket(conn.Key.Hash())
+	conn.estabBucket = uint32(b)
+	t.locksB.Bucket(uint64(b)).With(k.c, false, func() {
+		k.Touch(t.obj, t.headField(b), true)
+		k.Touch(conn.sock, sockChain, true)
+		t.buckets[b] = append(t.buckets[b], conn)
+	})
+}
+
+// lookup walks the bucket chain to the connection, touching the chain
+// pointers of the entries passed over.
+func (t *estabTable) lookup(k *K, conn *Conn) {
+	b := int(conn.estabBucket)
+	k.Touch(t.obj, t.headField(b), false)
+	walked := 0
+	for _, c := range t.buckets[b] {
+		if walked >= chainWalkLimit {
+			break
+		}
+		k.Touch(c.sock, sockChain, false)
+		walked++
+		if c == conn {
+			break
+		}
+	}
+}
+
+func (t *estabTable) remove(k *K, conn *Conn) {
+	b := int(conn.estabBucket)
+	t.locksB.Bucket(uint64(b)).With(k.c, false, func() {
+		k.Touch(t.obj, t.headField(b), true)
+		k.Touch(conn.sock, sockChain, true)
+		lst := t.buckets[b]
+		for i, c := range lst {
+			if c == conn {
+				lst[i] = lst[len(lst)-1]
+				t.buckets[b] = lst[:len(lst)-1]
+				break
+			}
+		}
+	})
+}
+
+func (t *estabTable) setOverhead(ov sim.Cycles) { t.locksB.SetOverhead(ov) }
+
+func (t *estabTable) lockStats() locks.Stats { return t.locksB.Stats() }

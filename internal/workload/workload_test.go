@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"affinityaccept/internal/app"
+	"affinityaccept/internal/mem"
+	"affinityaccept/internal/tcp"
+)
+
+func testStack(t *testing.T, cores int) *tcp.Stack {
+	t.Helper()
+	s := tcp.NewStack(tcp.Config{
+		Machine: mem.AMD48().WithCores(cores),
+		Listen:  tcp.AffinityAccept,
+		Seed:    3,
+	})
+	app.NewLighttpd(s)
+	return s
+}
+
+func TestGroupsFor(t *testing.T) {
+	cases := map[int][]int{
+		6:  {1, 2, 3},
+		1:  {1},
+		2:  {1, 1},
+		0:  {1},
+		10: {1, 2, 3, 1, 2, 1},
+	}
+	for n, want := range cases {
+		got := GroupsFor(n)
+		sum := 0
+		for _, g := range got {
+			sum += g
+		}
+		wantSum := n
+		if wantSum <= 0 {
+			wantSum = 1
+		}
+		if sum != wantSum {
+			t.Fatalf("GroupsFor(%d) sums to %d", n, sum)
+		}
+		if n == 6 && len(got) != len(want) {
+			t.Fatalf("GroupsFor(6) = %v", got)
+		}
+	}
+}
+
+func TestPatternTotal(t *testing.T) {
+	p := Pattern{Groups: []int{1, 2, 3}}
+	if p.TotalRequests() != 6 {
+		t.Fatal("total wrong")
+	}
+}
+
+func TestFileMixShape(t *testing.T) {
+	s := testStack(t, 2)
+	g := New(Config{Stack: s, Connections: 1, Seed: 9})
+	mean := g.MeanFileSize()
+	if mean < 500 || mean > 900 {
+		t.Fatalf("mean file size %v, want ~700", mean)
+	}
+	// Files bounded like the paper's 30..5670 mix.
+	for _, f := range g.files {
+		if f < 30 || f > 5670 {
+			t.Fatalf("file size %d out of bounds", f)
+		}
+	}
+}
+
+func TestFileMixScalesWithConfig(t *testing.T) {
+	s := testStack(t, 2)
+	g := New(Config{Stack: s, Connections: 1, MeanFileBytes: 3000, Seed: 9})
+	mean := g.MeanFileSize()
+	if mean < 2200 || mean > 3800 {
+		t.Fatalf("scaled mean %v, want ~3000", mean)
+	}
+}
+
+func TestClosedLoopServesRequests(t *testing.T) {
+	s := testStack(t, 2)
+	g := New(Config{Stack: s, Connections: 8, Seed: 4})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(1.0))
+	if s.Stats.Requests == 0 {
+		t.Fatal("no requests served")
+	}
+	if g.Completed == 0 {
+		t.Fatal("no connections completed")
+	}
+	// Closed loop: finished connections are replaced.
+	if s.Stats.ConnsAccepted <= uint64(8) {
+		t.Fatalf("accepted only %d conns; replacements missing", s.Stats.ConnsAccepted)
+	}
+	// 6 requests per connection.
+	if ratio := float64(s.Stats.Requests) / float64(g.Completed); ratio < 5.5 || ratio > 7 {
+		t.Fatalf("requests per completed conn = %.1f, want ~6", ratio)
+	}
+}
+
+func TestOpenLoopArrivalRate(t *testing.T) {
+	s := testStack(t, 2)
+	g := New(Config{Stack: s, OpenRate: 500, Seed: 4})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(1.0))
+	acc := float64(s.Stats.ConnsAccepted)
+	if acc < 300 || acc > 700 {
+		t.Fatalf("open-loop accepted %v conns in 1s at rate 500", acc)
+	}
+}
+
+func TestLatencyRecordingRespectsMeasureWindow(t *testing.T) {
+	s := testStack(t, 2)
+	g := New(Config{Stack: s, Connections: 4, Seed: 4})
+	s.Start()
+	g.Start()
+	warm := s.Eng.CyclesOf(0.5)
+	s.Eng.Run(warm)
+	g.BeginMeasure(warm)
+	before := g.Latencies.Count()
+	if before != 0 {
+		t.Fatalf("latencies recorded before measurement window: %d", before)
+	}
+	s.Eng.Run(s.Eng.CyclesOf(1.2))
+	if g.Latencies.Count() == 0 {
+		t.Fatal("no latencies recorded in window")
+	}
+	// The paper's baseline: ~200ms per connection (two 100ms thinks).
+	med := g.Latencies.Quantile(0.5)
+	if med < 0.2 || med > 0.3 {
+		t.Fatalf("median connection time %.3fs, want ~0.2s", med)
+	}
+}
+
+func TestTimeoutAbandonsStuckConnections(t *testing.T) {
+	s := testStack(t, 2)
+	// Tiny backlog and silent overflow: most SYNs vanish, clients must
+	// give up on their own.
+	s2 := tcp.NewStack(tcp.Config{
+		Machine:        mem.AMD48().WithCores(1),
+		Listen:         tcp.AffinityAccept,
+		Backlog:        1,
+		SilentOverflow: true,
+		Seed:           3,
+	})
+	_ = s
+	// No app: nothing ever accepts, queue stays full after first conn.
+	noop := &noopApp{}
+	s2.App = noop
+	g := New(Config{Stack: s2, Connections: 4, Timeout: s2.Eng.CyclesOf(0.3), Seed: 4})
+	s2.Start()
+	g.Start()
+	g.BeginMeasure(0)
+	s2.Eng.Run(s2.Eng.CyclesOf(1.5))
+	if g.TimedOut == 0 {
+		t.Fatal("no clients timed out")
+	}
+	if g.Latencies.Count() == 0 || g.Latencies.Quantile(0.5) < 0.29 {
+		t.Fatalf("timeouts not recorded as latency: %v", g.Latencies.Quantile(0.5))
+	}
+}
+
+type noopApp struct{}
+
+func (noopApp) ConnReady(*tcp.K, int)            {}
+func (noopApp) ConnReadable(*tcp.K, *tcp.Conn)   {}
+func (noopApp) ConnClosed(k *tcp.K, c *tcp.Conn) {}
+
+func TestRetransmitRecoversFromRingDrop(t *testing.T) {
+	// A 1-core stack with a tiny NIC ring: the initial burst overflows
+	// the ring, and only client retransmissions let everything finish.
+	s := tcp.NewStack(tcp.Config{
+		Machine: mem.AMD48().WithCores(1),
+		Listen:  tcp.AffinityAccept,
+		Seed:    3,
+	})
+	app.NewLighttpd(s)
+	g := New(Config{Stack: s, Connections: 64, Seed: 4})
+	s.Start()
+	g.Start()
+	s.Eng.Run(s.Eng.CyclesOf(2.0))
+	if g.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	t.Logf("retransmits=%d completed=%d", g.Retransmits, g.Completed)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s := testStack(t, 2)
+		g := New(Config{Stack: s, Connections: 8, Seed: 11})
+		s.Start()
+		g.Start()
+		s.Eng.Run(s.Eng.CyclesOf(0.6))
+		return s.Stats.Requests
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced %d then %d requests", a, b)
+	}
+}
