@@ -24,7 +24,13 @@
 //   - The algorithms: NewBalancer and NewFlowTable expose the paper's
 //     per-core accept queues, busy tracking, proportional-share
 //     stealing and flow-group migration as plain data structures, ready
-//     to wrap real SO_REUSEPORT listeners (see examples/reuseport).
+//     to wrap real SO_REUSEPORT listeners.
+//
+//   - The server: NewServer runs a production TCP server that applies
+//     the algorithms to real traffic — one SO_REUSEPORT listener per
+//     worker (with a portable shared-listener fallback), Balancer-
+//     backed stealing, graceful shutdown and per-worker stats (see the
+//     serve package, examples/reuseport and examples/webfarm).
 package affinityaccept
 
 import (
@@ -34,6 +40,7 @@ import (
 	"affinityaccept/internal/experiments"
 	"affinityaccept/internal/mem"
 	"affinityaccept/internal/tcp"
+	"affinityaccept/serve"
 )
 
 // Options tunes experiment execution (Quick shrinks sweeps).
@@ -136,3 +143,27 @@ func NewFlowTable(groups, cores int) *FlowTable {
 
 // FlowKey is a TCP/IP five-tuple.
 type FlowKey = core.FlowKey
+
+// Server is a production TCP server applying Affinity-Accept's per-core
+// accept queues and stealing policy to real connections: one
+// SO_REUSEPORT listener per worker on Linux, a shared listener
+// elsewhere.
+type Server = serve.Server
+
+// ServeConfig parameterizes NewServer; its Backlog, StealRatio and
+// watermark fields mirror BalancerConfig.
+type ServeConfig = serve.Config
+
+// Handler serves one accepted connection and must close it.
+type Handler = serve.Handler
+
+// ServeStats is a Server counter snapshot (accepted, served locally,
+// stolen, dropped, per-worker breakdown).
+type ServeStats = serve.Stats
+
+// WorkerStats is one worker's slice of ServeStats.
+type WorkerStats = serve.WorkerStats
+
+// NewServer creates a Server and binds its listeners; call Start to
+// begin accepting and Shutdown to drain and stop.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }

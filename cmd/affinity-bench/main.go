@@ -1,10 +1,15 @@
-// Command affinity-bench regenerates the paper's tables and figures.
+// Command affinity-bench regenerates the paper's tables and figures,
+// and can also drive the real serve.Server over loopback.
 //
 // Usage:
 //
 //	affinity-bench -list
 //	affinity-bench F2 T2          # run selected experiments
 //	affinity-bench -quick -all    # reduced sweeps, everything
+//
+//	affinity-bench -serve                  # real-server loopback benchmark
+//	affinity-bench -serve -stall 2         # stall worker 0: show stealing
+//	affinity-bench -client host:port       # drive an external server
 package main
 
 import (
@@ -22,8 +27,38 @@ func main() {
 		all   = flag.Bool("all", false, "run every experiment")
 		quick = flag.Bool("quick", false, "reduced sweeps and windows")
 		seed  = flag.Int64("seed", 42, "simulation seed")
+
+		serveMode = flag.Bool("serve", false, "benchmark the real serve.Server over loopback")
+		client    = flag.String("client", "", "drive an external server at host:port instead of starting one")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address for -serve")
+		workers   = flag.Int("workers", 0, "worker count for -serve (0 = GOMAXPROCS)")
+		clients   = flag.Int("clients", 32, "concurrent load-generator connections")
+		reqs      = flag.Int("reqs", 6, "requests per connection (paper's reuse: 6)")
+		payload   = flag.Int("payload", 64, "request/response payload bytes")
+		duration  = flag.Duration("duration", 2*time.Second, "load-generation window")
+		stall     = flag.Float64("stall", 0, "stall worker 0 this many ms per connection (demonstrates stealing)")
+		noShard   = flag.Bool("noshard", false, "force the shared-listener fallback instead of SO_REUSEPORT")
 	)
 	flag.Parse()
+
+	if *serveMode || *client != "" {
+		err := runServeBench(serveOpts{
+			addr:     *addr,
+			client:   *client,
+			workers:  *workers,
+			clients:  *clients,
+			reqs:     *reqs,
+			payload:  *payload,
+			duration: *duration,
+			stallMS:  *stall,
+			noShard:  *noShard,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range affinityaccept.Experiments() {

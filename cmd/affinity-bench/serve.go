@@ -1,0 +1,210 @@
+// The -serve / -client modes drive the real serve.Server (instead of
+// the simulator) and print a locality/steal report in the same aligned
+// table shape as the simulator's experiments.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityaccept"
+)
+
+// serveOpts carries the -serve/-client flag values.
+type serveOpts struct {
+	addr     string
+	client   string // external target; empty = built-in loopback server
+	workers  int
+	clients  int
+	reqs     int // requests per connection
+	payload  int // bytes per request/response
+	duration time.Duration
+	stallMS  float64 // artificial per-connection stall on worker 0
+	noShard  bool    // force the single-shared-listener fallback
+}
+
+// runServeBench starts (unless -client points elsewhere) a serve.Server
+// with an echo handler, drives it with a closed-loop load generator
+// over loopback, and prints throughput, latency percentiles and the
+// per-worker locality/steal table.
+func runServeBench(o serveOpts) error {
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+		if o.workers < 2 {
+			o.workers = 2 // stealing needs someone to steal from
+		}
+	}
+	var srv *affinityaccept.Server
+	target := o.client
+	if target == "" {
+		cfg := affinityaccept.ServeConfig{
+			Addr:             o.addr,
+			Workers:          o.workers,
+			DisableReusePort: o.noShard,
+		}
+		if o.stallMS > 0 {
+			stall := time.Duration(o.stallMS * float64(time.Millisecond))
+			cfg.WorkerHandler = func(worker int, conn net.Conn) {
+				if worker == 0 {
+					time.Sleep(stall)
+				}
+				echo(conn)
+			}
+			// Stealing engages when the stalled worker crosses its high
+			// watermark; lower it so modest benchmark loads get there.
+			cfg.HighPct, cfg.LowPct = 20, 5
+		} else {
+			cfg.Handler = echo
+		}
+		var err error
+		srv, err = affinityaccept.NewServer(cfg)
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		target = srv.Addr().String()
+		mode := "shared listener"
+		if srv.Sharded() {
+			mode = "SO_REUSEPORT shards"
+		}
+		fmt.Printf("serving on %s: %d workers, %s\n", target, o.workers, mode)
+	} else {
+		fmt.Printf("driving external server at %s\n", target)
+	}
+
+	lat, requests, conns, failed := drive(target, o)
+	secs := o.duration.Seconds()
+
+	fmt.Println()
+	fmt.Printf("SERVE — closed-loop echo load over loopback (%d clients, %d reqs/conn, %dB payload)\n",
+		o.clients, o.reqs, o.payload)
+	header := []string{"workers", "clients", "secs", "req/s", "conn/s", "p50(us)", "p95(us)", "p99(us)", "failed"}
+	row := []string{
+		fmt.Sprintf("%d", o.workers),
+		fmt.Sprintf("%d", o.clients),
+		fmt.Sprintf("%.1f", secs),
+		fmt.Sprintf("%.0f", float64(requests)/secs),
+		fmt.Sprintf("%.0f", float64(conns)/secs),
+		fmt.Sprintf("%.0f", percentile(lat, 50)),
+		fmt.Sprintf("%.0f", percentile(lat, 95)),
+		fmt.Sprintf("%.0f", percentile(lat, 99)),
+		fmt.Sprintf("%d", failed),
+	}
+	printAligned(header, [][]string{row})
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Println("shutdown:", err)
+		}
+		st := srv.Stats()
+		fmt.Println()
+		fmt.Printf("locality: %.1f%% of %d connections served on their accepting worker (%d stolen, %d dropped)\n",
+			st.LocalityPct(), st.Served, st.ServedStolen, st.Dropped)
+		fmt.Print(st)
+		if o.stallMS > 0 {
+			fmt.Printf("note: worker 0 stalled %.1fms per connection; \"stolen\" shows the §3.3 rescue\n", o.stallMS)
+		}
+	}
+	return nil
+}
+
+// echo copies the client's bytes back until EOF.
+func echo(conn net.Conn) {
+	io.Copy(conn, conn)
+	conn.Close()
+}
+
+// drive runs the closed-loop clients and returns per-request latencies
+// (µs), plus request/connection/failure counts.
+func drive(target string, o serveOpts) (lat []float64, requests, conns, failed uint64) {
+	var mu sync.Mutex
+	var reqN, connN, failN atomic.Uint64
+	stop := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := make([]byte, o.payload)
+			buf := make([]byte, o.payload)
+			local := make([]float64, 0, 4096)
+			defer func() {
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			}()
+			for time.Now().Before(stop) {
+				conn, err := net.Dial("tcp", target)
+				if err != nil {
+					failN.Add(1)
+					time.Sleep(time.Millisecond) // don't hot-spin on a dead target
+					continue
+				}
+				conn.SetDeadline(time.Now().Add(10 * time.Second))
+				connN.Add(1)
+				for i := 0; i < o.reqs && time.Now().Before(stop); i++ {
+					t0 := time.Now()
+					if _, err := conn.Write(msg); err != nil {
+						failN.Add(1)
+						break
+					}
+					if _, err := io.ReadFull(conn, buf); err != nil {
+						failN.Add(1)
+						break
+					}
+					local = append(local, float64(time.Since(t0).Microseconds()))
+					reqN.Add(1)
+				}
+				conn.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	return lat, reqN.Load(), connN.Load(), failN.Load()
+}
+
+// percentile returns the p-th percentile of values (sorting a copy).
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// printAligned renders one header and rows with the simulator tables'
+// aligned-column style.
+func printAligned(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, h := range header {
+		fmt.Printf("%-*s  ", widths[i], h)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+	}
+}

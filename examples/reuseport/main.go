@@ -1,152 +1,82 @@
-//go:build linux
-
 // Reuseport applies Affinity-Accept's user-space half to Go's real
-// network stack: SO_REUSEPORT gives each worker its own kernel accept
-// queue (the per-core clone queues of §3.2), and the library's Balancer
-// adds the paper's busy tracking and 5:1 proportional-share stealing on
-// top, so a slow worker's connections get picked up by idle ones.
+// network stack via the serve package: SO_REUSEPORT gives each worker
+// its own kernel accept queue (the per-core clone queues of §3.2), and
+// the Balancer underneath adds the paper's busy tracking and 5:1
+// proportional-share stealing, so a slow worker's connections get
+// picked up by idle ones.
 //
-// This is the part of the paper a user-space program can adopt directly;
-// kernel-side flow steering is what the simulator models.
+// Worker 0 is made artificially slow; the final report shows the other
+// workers rescuing its backlog (nonzero "stolen" column).
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
 	"sync"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"affinityaccept"
 )
-
-const soReusePort = 0xf // SO_REUSEPORT on Linux
-
-func listenReusePort(addr string) (net.Listener, error) {
-	lc := net.ListenConfig{
-		Control: func(network, address string, c syscall.RawConn) error {
-			var serr error
-			err := c.Control(func(fd uintptr) {
-				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
-			})
-			if err != nil {
-				return err
-			}
-			return serr
-		},
-	}
-	return lc.Listen(nil, "tcp", addr) //nolint:staticcheck // background ctx not needed
-}
 
 func main() {
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 2 {
 		workers = 2
 	}
-	bal := affinityaccept.NewBalancer(affinityaccept.BalancerConfig{
-		Cores:   workers,
-		Backlog: workers * 512, // ample: the self-test bursts all clients at once
+	srv, err := affinityaccept.NewServer(affinityaccept.ServeConfig{
+		Addr:    "127.0.0.1:0",
+		Workers: workers,
+		HighPct: 20, // mark a lagging worker busy early so the demo steals visibly
+		LowPct:  5,
+		WorkerHandler: func(worker int, conn net.Conn) {
+			if worker == 0 {
+				time.Sleep(2 * time.Millisecond) // the "busy" core
+			}
+			io.Copy(conn, conn) // echo
+			conn.Close()
+		},
 	})
-
-	const addr = "127.0.0.1:0"
-	first, err := listenReusePort(addr)
 	if err != nil {
 		fmt.Println("cannot listen (sandboxed environment?):", err)
 		return
 	}
-	bound := first.Addr().String()
-	listeners := []net.Listener{first}
-	for i := 1; i < workers; i++ {
-		l, err := listenReusePort(bound)
-		if err != nil {
-			fmt.Println("SO_REUSEPORT unavailable:", err)
-			return
-		}
-		listeners = append(listeners, l)
-	}
-	fmt.Printf("%d SO_REUSEPORT listeners on %s (per-core accept queues)\n", workers, bound)
-
-	var served int64
-	var wg sync.WaitGroup
-
-	// Acceptors: one per listener, pushing onto that "core"'s queue.
-	for i, l := range listeners {
-		wg.Add(1)
-		go func(core int, l net.Listener) {
-			defer wg.Done()
-			for {
-				conn, err := l.Accept()
-				if err != nil {
-					return
-				}
-				if !bal.Push(core, conn) {
-					conn.Close() // queue overflow: shed load
-				}
-			}
-		}(i, l)
+	srv.Start()
+	addr := srv.Addr().String()
+	if srv.Sharded() {
+		fmt.Printf("%d SO_REUSEPORT listeners on %s (per-core accept queues)\n", workers, addr)
+	} else {
+		fmt.Printf("shared listener on %s (%d worker queues, round-robin)\n", addr, workers)
 	}
 
-	// Workers: pop with the proportional-share stealing policy; worker 0
-	// is artificially slow so the others demonstrably steal from it.
-	done := make(chan struct{})
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(core int) {
-			defer wg.Done()
-			for {
-				conn, _, ok := bal.Pop(core)
-				if ok {
-					if core == 0 {
-						time.Sleep(500 * time.Microsecond) // the "busy" core
-					}
-					io.Copy(conn, conn) // echo
-					conn.Close()
-					atomic.AddInt64(&served, 1)
-					continue
-				}
-				select {
-				case <-done:
-					return
-				case <-time.After(200 * time.Microsecond):
-				}
-			}
-		}(i)
-	}
-
-	// Self-test clients.
+	// Self-test clients: burst everything at once.
 	const total = 200
-	var cwg sync.WaitGroup
+	var wg sync.WaitGroup
 	for i := 0; i < total; i++ {
-		cwg.Add(1)
+		wg.Add(1)
 		go func(i int) {
-			defer cwg.Done()
-			conn, err := net.Dial("tcp", bound)
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
 			if err != nil {
 				return
 			}
 			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			msg := []byte(fmt.Sprintf("hello %d", i))
 			conn.Write(msg)
-			buf := make([]byte, len(msg))
-			io.ReadFull(conn, buf)
 			conn.(*net.TCPConn).CloseWrite()
+			io.ReadAll(conn)
 		}(i)
-	}
-	cwg.Wait()
-	deadline := time.Now().Add(3 * time.Second)
-	for atomic.LoadInt64(&served) < total && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	close(done)
-	for _, l := range listeners {
-		l.Close()
 	}
 	wg.Wait()
 
-	pushes, locals, steals, drops := bal.Stats()
-	fmt.Printf("served %d connections: %d accepted locally, %d stolen (busy core rescued), %d dropped, %d pushed\n",
-		atomic.LoadInt64(&served), locals, steals, drops, pushes)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Println("shutdown:", err)
+	}
+	fmt.Println()
+	fmt.Print(srv.Stats())
 }

@@ -1,35 +1,122 @@
-// Webfarm: sweep both web-server architectures (threaded Apache and
-// event-driven lighttpd) across machine sizes under Affinity-Accept,
-// mirroring the workload of the paper's §6.2.
+// Webfarm runs a miniature web farm on the serve package, mirroring
+// the workload of the paper's §6.2 on a real loopback network: every
+// worker owns a SO_REUSEPORT accept queue, each connection issues six
+// requests for ~700-byte responses (the paper's connection-reuse and
+// SpecWeb-like file mix), and the closing report shows throughput plus
+// the per-worker locality/steal breakdown.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"affinityaccept"
 )
 
+const (
+	reqsPerConn = 6   // the paper's connection reuse (§6.2)
+	fileBytes   = 700 // mean file size of the static mix
+	clients     = 64
+	duration    = 2 * time.Second
+)
+
 func main() {
-	fmt.Println("Web-server architectures under Affinity-Accept (AMD machine)")
-	fmt.Println()
-	fmt.Printf("%-8s %18s %18s\n", "cores", "apache req/s/core", "lighttpd req/s/core")
-	for _, cores := range []int{1, 6, 12, 24} {
-		row := make([]float64, 0, 2)
-		for _, server := range []affinityaccept.ServerKind{
-			affinityaccept.Apache, affinityaccept.Lighttpd,
-		} {
-			r := affinityaccept.Simulate(affinityaccept.RunConfig{
-				Machine: affinityaccept.AMD48(),
-				Cores:   cores,
-				Listen:  affinityaccept.AffinityAccept,
-				Server:  server,
-				Seed:    7,
-			})
-			row = append(row, r.ReqPerSecPerCore)
-		}
-		fmt.Printf("%-8d %18.0f %18.0f\n", cores, row[0], row[1])
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
 	}
-	fmt.Println()
-	fmt.Println("Event-driven lighttpd avoids Apache's per-request futex and")
-	fmt.Println("context-switch costs; both keep connections core-local.")
+	payload := bytes.Repeat([]byte("x"), fileBytes)
+
+	var requests atomic.Int64
+	srv, err := affinityaccept.NewServer(affinityaccept.ServeConfig{
+		Addr:    "127.0.0.1:0",
+		Workers: workers,
+		Handler: func(conn net.Conn) {
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for {
+				if _, err := r.ReadString('\n'); err != nil {
+					return // client closed the connection
+				}
+				header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", len(payload))
+				if _, err := conn.Write(append([]byte(header), payload...)); err != nil {
+					return
+				}
+				requests.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Println("cannot listen (sandboxed environment?):", err)
+		return
+	}
+	srv.Start()
+	addr := srv.Addr().String()
+	fmt.Printf("web farm: %d workers on %s (sharded=%v), %d clients, %d reqs/conn\n\n",
+		workers, addr, srv.Sharded(), clients, reqsPerConn)
+
+	start := time.Now()
+	stop := start.Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for time.Now().Before(stop) {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				conn.SetDeadline(time.Now().Add(10 * time.Second))
+				r := bufio.NewReader(conn)
+				for i := 0; i < reqsPerConn && time.Now().Before(stop); i++ {
+					if _, err := fmt.Fprintf(conn, "GET /f%d\n", i); err != nil {
+						break
+					}
+					// Header line, blank line, then the body.
+					if _, err := r.ReadString('\n'); err != nil {
+						break
+					}
+					if _, err := r.ReadString('\n'); err != nil {
+						break
+					}
+					if _, err := r.ReadString('\n'); err != nil {
+						break
+					}
+					want := fileBytes
+					for want > 0 {
+						n, err := r.Read(buf[:min(want, len(buf))])
+						if err != nil {
+							want = -1
+							break
+						}
+						want -= n
+					}
+					if want != 0 {
+						break
+					}
+				}
+				conn.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds() // actual window, including the tail
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+
+	st := srv.Stats()
+	fmt.Printf("%.0f req/s  %.0f conn/s  (%d requests in %.1fs)\n\n",
+		float64(requests.Load())/secs, float64(st.Served)/secs, requests.Load(), secs)
+	fmt.Print(st)
 }

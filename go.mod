@@ -1,0 +1,3 @@
+module affinityaccept
+
+go 1.24

@@ -324,6 +324,13 @@ func (q *Queues[T]) PopAt(idx int) (T, bool) {
 	return v, ok
 }
 
+// DiscardAt dequeues directly from queue idx without counting the pop
+// as an accept or updating the EWMA: the connection is being thrown
+// away (forced shutdown), not served.
+func (q *Queues[T]) DiscardAt(idx int) (T, bool) {
+	return q.rings[idx].pop()
+}
+
 // Pop implements accept() on the given core: proportional-share between
 // local and stolen connections when the core is non-busy, local-only
 // preference when busy, and a full remote scan before reporting empty.
@@ -370,6 +377,20 @@ func (q *Queues[T]) ResetSteals(core int) {
 	for i := range q.cores[core].stolenFrom {
 		q.cores[core].stolenFrom[i] = 0
 	}
+}
+
+// ObserveIdle folds `samples` observations of the current local queue
+// length into core's EWMA and re-evaluates the busy bit. Real-server
+// pollers (the serve package) call it when an accept attempt finds no
+// work: the EWMA is otherwise sampled only on pushes, so once arrivals
+// stop it — and therefore the busy bit — would freeze at its burst-time
+// value and non-busy cores would never resume stealing. The kernel gets
+// these samples for free at softirq arrival frequency; a user-space
+// poller supplies the observations its sleep skipped by scaling
+// `samples` with the wall-clock time since its previous poll.
+func (q *Queues[T]) ObserveIdle(core, samples int) {
+	q.cores[core].ewma.ObserveN(float64(q.rings[core].len()), samples)
+	q.maybeClearBusy(core)
 }
 
 // EWMAValue exposes a core's queue-length average for tests and reports.

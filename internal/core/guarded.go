@@ -45,6 +45,38 @@ func (g *Guarded[T]) Len(core int) int {
 	return g.q.Len(core)
 }
 
+// TotalLen reports queued connections across all cores.
+func (g *Guarded[T]) TotalLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.TotalLen()
+}
+
+// DiscardAt dequeues directly from queue idx without touching the
+// accept counters or EWMA. Forced shutdown paths use it to drain
+// queues of connections that will be closed, not served.
+func (g *Guarded[T]) DiscardAt(idx int) (T, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.DiscardAt(idx)
+}
+
+// Cores reports the configured core count.
+func (g *Guarded[T]) Cores() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.q.Cores()
+}
+
+// ObserveIdle folds `samples` observations of the current queue length
+// into core's EWMA and re-evaluates the busy bit (see
+// Queues.ObserveIdle).
+func (g *Guarded[T]) ObserveIdle(core, samples int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.q.ObserveIdle(core, samples)
+}
+
 // Balance runs one migration tick against a flow table.
 func (g *Guarded[T]) Balance(t *FlowTable) int {
 	g.mu.Lock()

@@ -1,8 +1,10 @@
 // Package mem models the memory system of the paper's evaluation
-// machines: cache-line coherence between cores, the latency hierarchy of
-// Table 1, a slab allocator with per-core pools and remote-free
-// penalties, and the per-type sharing statistics that DProf reports in
-// Table 4.
+// machines (§2): cache-line coherence between cores, the latency
+// hierarchy of Table 1, a slab allocator with per-core pools and
+// remote-free penalties, and the per-type sharing statistics that DProf
+// reports in Table 4 (§2.1). This is the cost model that makes
+// off-core connection processing expensive, which is the paper's whole
+// case for connection affinity.
 //
 // The simulator does not store application data; an Object is purely a
 // coherence shadow — a set of cache lines with owner/sharer metadata.

@@ -1,9 +1,10 @@
 // Package nic simulates the multi-queue Ethernet controller of the
-// paper's testbed (Intel 82599 "IXGBE"): per-core RX/TX DMA rings, RSS
-// and FDir flow steering, a 10 Gbit port with serialization delay, and
-// the driver behaviours the paper measures around FDir — per-flow
-// steering updates on transmit ("Twenty-Policy", §7.1) with their insert
-// and table-flush costs.
+// paper's testbed (Intel 82599 "IXGBE"), the hardware half of §4's flow
+// steering: per-core RX/TX DMA rings, RSS and FDir flow-group steering
+// (§3.1, §4.1), a 10 Gbit port with serialization delay, and the
+// driver behaviours the paper measures around FDir — per-flow steering
+// updates on transmit ("Twenty-Policy", §7.1) with their insert and
+// table-flush costs.
 //
 // The NIC's only job in the reproduction is deciding which core's ring
 // receives each incoming packet, at what time, and how fast outgoing

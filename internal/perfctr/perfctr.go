@@ -1,8 +1,8 @@
 // Package perfctr attributes simulated cycles, instruction counts and L2
-// misses to kernel entry points, reproducing the methodology behind the
-// paper's Table 3 ("we instrumented the kernel to record a number of
-// performance counter events during each type of system call and
-// interrupt").
+// misses to kernel entry points, reproducing the profiling methodology
+// of §2.1 behind the paper's Table 3 ("we instrumented the kernel to
+// record a number of performance counter events during each type of
+// system call and interrupt").
 package perfctr
 
 import (

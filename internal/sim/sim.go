@@ -1,5 +1,7 @@
 // Package sim is the discrete-event simulation engine underneath the
-// Affinity-Accept reproduction.
+// Affinity-Accept reproduction: it supplies the virtual multicore
+// machine on which the evaluation of §6 is re-run, standing in for the
+// paper's 48-core AMD and 80-core Intel testbeds (§2, Table 1).
 //
 // Virtual time is measured in CPU cycles. A single min-heap of events
 // drives the run; every event either targets a core (kernel or

@@ -7,6 +7,8 @@
 // updates an EWMA, every sampled memory access lands in a histogram).
 package stats
 
+import "math"
+
 // EWMA is an exponentially weighted moving average.
 //
 // Affinity-Accept (paper §3.3) tracks the long-term length of each per-core
@@ -47,6 +49,22 @@ func (e *EWMA) Observe(sample float64) {
 		return
 	}
 	e.value += e.alpha * (sample - e.value)
+}
+
+// ObserveN folds n consecutive observations of the same sample into the
+// average in closed form: v' = sample + (v - sample)·(1-alpha)^n.
+// Pollers that sample a queue far less often than events arrive use it
+// to catch the average up with the wall-clock time they slept through.
+func (e *EWMA) ObserveN(sample float64, n int) {
+	if n <= 0 {
+		return
+	}
+	if !e.seen {
+		e.value = sample
+		e.seen = true
+		return
+	}
+	e.value = sample + (e.value-sample)*math.Pow(1-e.alpha, float64(n))
 }
 
 // Value reports the current average, or zero before any observation.

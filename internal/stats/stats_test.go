@@ -297,3 +297,29 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestEWMAObserveNMatchesRepeatedObserve(t *testing.T) {
+	a := NewEWMA(1.0 / 128)
+	b := NewEWMA(1.0 / 128)
+	a.Observe(40)
+	b.Observe(40)
+	for i := 0; i < 257; i++ {
+		a.Observe(3)
+	}
+	b.ObserveN(3, 257)
+	if math.Abs(a.Value()-b.Value()) > 1e-9 {
+		t.Fatalf("ObserveN(3, 257) = %v, repeated Observe = %v", b.Value(), a.Value())
+	}
+}
+
+func TestEWMAObserveNSeedsAndIgnoresNonPositive(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.ObserveN(7, 0)
+	if e.Seen() {
+		t.Fatal("ObserveN with n=0 should be a no-op")
+	}
+	e.ObserveN(7, 3)
+	if got := e.Value(); got != 7 {
+		t.Fatalf("first ObserveN should seed value: got %v", got)
+	}
+}

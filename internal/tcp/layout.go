@@ -1,9 +1,9 @@
 // Package tcp simulates the Linux TCP stack of the paper: listen
 // sockets in the three designs under study (Stock-, Fine- and
-// Affinity-Accept), the request hash table, the established-connection
-// hash table, per-connection sockets with a cache-line-accurate field
-// layout, skbuffs drawn from per-core slabs, and the kernel entry points
-// whose costs Table 3 reports.
+// Affinity-Accept, §3 and §5), the request hash table (§5.2), the
+// established-connection hash table, per-connection sockets with a
+// cache-line-accurate field layout (§2.1), skbuffs drawn from per-core
+// slabs, and the kernel entry points whose costs Table 3 reports.
 //
 // The stack runs inside the discrete-event engine: softirq work executes
 // on the core owning the RX DMA ring that received the packet, and

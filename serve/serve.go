@@ -1,0 +1,376 @@
+// Package serve is the production half of the Affinity-Accept
+// reproduction: a real TCP server built on the paper's per-core accept
+// queues (§3.2) and connection-stealing policy (§3.3).
+//
+// On Linux the server opens one SO_REUSEPORT listener per worker, so
+// the kernel gives every worker its own accept queue — the user-space
+// equivalent of the paper's per-core clone sockets. Each accepted
+// connection is pushed onto its worker's queue in a core.Guarded
+// balancer, and workers pop with the paper's policy: local connections
+// preferred, one remote steal per StealRatio local accepts when some
+// other worker is over its high watermark. A stalled worker's backlog
+// is therefore drained by idle workers instead of timing out, while an
+// unloaded server keeps every connection on the worker (and, with the
+// kernel's reuseport hashing, the core) that accepted it.
+//
+// On other platforms, or when SO_REUSEPORT is unavailable, the server
+// falls back to a single shared listener whose acceptor round-robins
+// connections across the worker queues; the stealing policy is
+// unchanged.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityaccept/internal/core"
+)
+
+// Handler serves one accepted connection. The handler owns the
+// connection and must close it.
+type Handler func(conn net.Conn)
+
+// WorkerHandler is an optional Handler variant that also receives the
+// index of the worker serving the connection, for per-worker state
+// (caches, buffers, CPU pinning checks) or tests that stall one worker.
+type WorkerHandler func(worker int, conn net.Conn)
+
+// Config parameterizes a Server. Handler or WorkerHandler is required;
+// everything else has working defaults.
+type Config struct {
+	// Network and Addr are passed to net.Listen ("tcp", ":0" style).
+	// Network defaults to "tcp", Addr to "127.0.0.1:0".
+	Network string
+	Addr    string
+
+	// Workers is the number of worker goroutines and (on Linux) of
+	// SO_REUSEPORT listeners. 0 means GOMAXPROCS.
+	Workers int
+
+	// Handler serves each connection. Exactly one of Handler and
+	// WorkerHandler must be set.
+	Handler Handler
+	// WorkerHandler, if set, is used instead of Handler.
+	WorkerHandler WorkerHandler
+
+	// Backlog bounds queued-but-unserved connections across all
+	// workers (0 = 128 per worker, the paper's effective per-core
+	// range). Connections pushed onto a full worker queue are closed.
+	Backlog int
+	// StealRatio is local accepts per remote steal on a non-busy
+	// worker (0 = the paper's 5).
+	StealRatio int
+	// HighPct / LowPct are the busy watermarks in percent of the
+	// per-worker queue bound (0 = the paper's 75 and 10).
+	HighPct, LowPct float64
+
+	// DisableReusePort forces the single-shared-listener fallback even
+	// on Linux. The acceptor then round-robins connections across the
+	// worker queues.
+	DisableReusePort bool
+}
+
+func (c *Config) fill() error {
+	if c.Handler == nil && c.WorkerHandler == nil {
+		return errors.New("serve: Config.Handler or Config.WorkerHandler is required")
+	}
+	if c.Handler != nil && c.WorkerHandler != nil {
+		return errors.New("serve: set only one of Handler and WorkerHandler")
+	}
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	// Validate the watermarks here so New returns an error instead of
+	// letting core.NewQueues panic on a bad combination.
+	high, low := c.HighPct, c.LowPct
+	if high == 0 {
+		high = core.DefaultHighPct
+	}
+	if low == 0 {
+		low = core.DefaultLowPct
+	}
+	if high < 0 || high > 100 || low < 0 || low >= high {
+		return fmt.Errorf("serve: watermarks must satisfy 0 <= low < high <= 100, got low %v%% high %v%%", low, high)
+	}
+	if c.Backlog < 0 || c.StealRatio < 0 {
+		return errors.New("serve: Backlog and StealRatio must be non-negative")
+	}
+	return nil
+}
+
+// Server is a multi-listener TCP server applying Affinity-Accept's
+// queueing and stealing policy to real connections.
+type Server struct {
+	cfg     Config
+	handler WorkerHandler
+
+	bal       *core.Guarded[net.Conn]
+	listeners []net.Listener
+	sharded   bool // one listener per worker (SO_REUSEPORT)
+
+	wake    chan struct{} // signaled on every push
+	drainCh chan struct{} // closed when acceptors have stopped
+
+	started  atomic.Bool
+	draining atomic.Bool
+	shutOnce sync.Once
+
+	acceptWG sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	workers []workerState
+	rr      atomic.Uint64 // round-robin cursor for the shared-listener fallback
+}
+
+// workerState holds one worker's atomically updated counters.
+type workerState struct {
+	accepted     atomic.Uint64 // connections accepted by this worker's listener
+	servedLocal  atomic.Uint64 // served from this worker's own queue
+	servedStolen atomic.Uint64 // served by this worker from another queue
+	active       atomic.Int64  // handlers currently running on this worker
+}
+
+// New creates a Server and binds its listeners; the returned server is
+// not accepting until Start. On Linux it opens Config.Workers
+// SO_REUSEPORT listeners on the same address; elsewhere (or if
+// SO_REUSEPORT fails, or DisableReusePort is set) it opens one shared
+// listener.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		wake:    make(chan struct{}, cfg.Workers),
+		drainCh: make(chan struct{}),
+		workers: make([]workerState, cfg.Workers),
+	}
+	if cfg.WorkerHandler != nil {
+		s.handler = cfg.WorkerHandler
+	} else {
+		s.handler = func(_ int, conn net.Conn) { cfg.Handler(conn) }
+	}
+	s.bal = core.NewGuarded[net.Conn](core.Config{
+		Cores:      cfg.Workers,
+		Backlog:    cfg.Backlog,
+		StealRatio: cfg.StealRatio,
+		HighPct:    cfg.HighPct,
+		LowPct:     cfg.LowPct,
+	})
+	if err := s.listen(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// listen binds the listeners, preferring one SO_REUSEPORT listener per
+// worker and falling back to a single shared listener.
+func (s *Server) listen() error {
+	if !s.cfg.DisableReusePort && reusePortAvailable {
+		listeners, err := listenShards(s.cfg.Network, s.cfg.Addr, s.cfg.Workers)
+		if err == nil {
+			s.listeners = listeners
+			s.sharded = len(listeners) == s.cfg.Workers
+			return nil
+		}
+		// SO_REUSEPORT refused (restricted sandbox, exotic network):
+		// fall through to the portable single-listener path.
+	}
+	l, err := net.Listen(s.cfg.Network, s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s %s: %w", s.cfg.Network, s.cfg.Addr, err)
+	}
+	s.listeners = []net.Listener{l}
+	s.sharded = false
+	return nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.listeners[0].Addr() }
+
+// Sharded reports whether the server runs one SO_REUSEPORT listener
+// per worker (true) or the single-shared-listener fallback (false).
+func (s *Server) Sharded() bool { return s.sharded }
+
+// Workers reports the configured worker count.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Start launches the acceptor and worker goroutines. It returns
+// immediately; use Shutdown to stop.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i, l := range s.listeners {
+		s.acceptWG.Add(1)
+		go s.acceptLoop(i, l)
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.workerLoop(i)
+	}
+}
+
+// acceptLoop accepts connections from one listener and pushes them onto
+// a worker queue: the listener's own worker when sharded, round-robin
+// otherwise.
+func (s *Server) acceptLoop(idx int, l net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		worker := idx
+		if !s.sharded {
+			worker = int(s.rr.Add(1)-1) % s.cfg.Workers
+		}
+		s.workers[worker].accepted.Add(1)
+		if !s.bal.Push(worker, conn) {
+			conn.Close() // queue overflow: shed load (§3.3 drop)
+			continue
+		}
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// idleSamplePeriod is the virtual sampling interval an idle worker's
+// EWMA observations are scaled by. The kernel samples a core's queue
+// EWMA on every softirq arrival — microseconds apart under load — while
+// a user-space worker polls every few hundred microseconds at best and
+// far less often under CPU contention. Charging one observation per
+// elapsed 10µs makes the busy bit decay at wall-clock speed rather than
+// poll-count speed, so a worker that has been idle a few milliseconds
+// becomes steal-eligible regardless of scheduler jitter.
+const idleSamplePeriod = 10 * time.Microsecond
+
+// workerLoop pops connections with the stealing policy and runs the
+// handler inline, so a worker's concurrency is exactly one connection —
+// the paper's one-thread-per-core service model.
+func (s *Server) workerLoop(worker int) {
+	defer s.workerWG.Done()
+	st := &s.workers[worker]
+	var idleMark time.Time // start of the unobserved idle stretch
+	for {
+		conn, from, ok := s.bal.Pop(worker)
+		if ok {
+			idleMark = time.Time{}
+			if from == worker {
+				st.servedLocal.Add(1)
+			} else {
+				st.servedStolen.Add(1)
+			}
+			st.active.Add(1)
+			s.handler(worker, conn)
+			st.active.Add(-1)
+			continue
+		}
+		// No work: let the empty queue decay this worker's EWMA so a
+		// burst-time busy bit clears and stealing can resume.
+		now := time.Now()
+		if idleMark.IsZero() {
+			idleMark = now
+			s.bal.ObserveIdle(worker, 1)
+		} else if n := int(now.Sub(idleMark) / idleSamplePeriod); n > 0 {
+			s.bal.ObserveIdle(worker, n)
+			idleMark = now
+		}
+		if s.draining.Load() && s.bal.TotalLen() == 0 {
+			return
+		}
+		select {
+		case <-s.wake:
+		case <-s.drainCh:
+			// Draining: re-poll promptly, but yield so workers whose
+			// queues cannot be stolen from don't spin.
+			time.Sleep(50 * time.Microsecond)
+		case <-time.After(200 * time.Microsecond):
+			// Periodic re-poll: a remote queue may have crossed its
+			// high watermark and become stealable.
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: it closes every listener, lets
+// the workers drain all queued connections, and waits for in-flight
+// handlers. If ctx expires first, still-queued connections are closed
+// and ctx.Err is returned; handlers already running are not interrupted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		for _, l := range s.listeners {
+			l.Close()
+		}
+		s.acceptWG.Wait() // all pushes are done
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+	if !s.started.Load() {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force: close whatever is still queued so clients see EOF
+		// rather than a hang, then report the deadline.
+		for i := 0; i < s.bal.Cores(); i++ {
+			for {
+				conn, ok := s.bal.DiscardAt(i)
+				if !ok {
+					break
+				}
+				conn.Close()
+			}
+		}
+		return ctx.Err()
+	}
+}
+
+// Stats returns a consistent-enough snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	pushes, locals, steals, drops := s.bal.Stats()
+	st := Stats{
+		Sharded:      s.sharded,
+		Accepted:     pushes,
+		Served:       locals + steals,
+		ServedLocal:  locals,
+		ServedStolen: steals,
+		Dropped:      drops,
+		Workers:      make([]WorkerStats, s.cfg.Workers),
+	}
+	for i := range st.Workers {
+		w := &s.workers[i]
+		st.Workers[i] = WorkerStats{
+			Worker:       i,
+			Accepted:     w.accepted.Load(),
+			ServedLocal:  w.servedLocal.Load(),
+			ServedStolen: w.servedStolen.Load(),
+			Active:       w.active.Load(),
+			QueueDepth:   s.bal.Len(i),
+			Busy:         s.bal.Busy(i),
+		}
+		st.Queued += st.Workers[i].QueueDepth
+		st.Active += st.Workers[i].Active
+	}
+	return st
+}

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoHandler echoes until client EOF, then closes.
+func echoHandler(conn net.Conn) {
+	io.Copy(conn, conn)
+	conn.Close()
+}
+
+// dialEcho opens one connection, round-trips one message and closes.
+func dialEcho(t *testing.T, addr string, i int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("dial %d: %v", i, err)
+		return
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	msg := []byte(fmt.Sprintf("hello %d", i))
+	if _, err := conn.Write(msg); err != nil {
+		t.Errorf("write %d: %v", i, err)
+		return
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Errorf("read %d: %v", i, err)
+		return
+	}
+	if string(got) != string(msg) {
+		t.Errorf("conn %d: got %q want %q", i, got, msg)
+	}
+}
+
+// burst opens total concurrent connections and waits for all round
+// trips to finish.
+func burst(t *testing.T, addr string, total int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dialEcho(t, addr, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBurstAllServed is the headline integration test: a loopback
+// server with N workers serves a burst of connections, every one
+// completes, and shutdown drains cleanly.
+func TestBurstAllServed(t *testing.T) {
+	const workers, total = 4, 200
+	var served atomic.Int64
+	s, err := New(Config{
+		Workers: workers,
+		Handler: func(conn net.Conn) {
+			echoHandler(conn)
+			served.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	burst(t, s.Addr().String(), total)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if got := served.Load(); got != total {
+		t.Fatalf("served %d connections, want %d", got, total)
+	}
+	st := s.Stats()
+	if st.Accepted != total {
+		t.Errorf("accepted %d, want %d", st.Accepted, total)
+	}
+	if st.Served != total || st.Dropped != 0 {
+		t.Errorf("served %d dropped %d, want %d and 0", st.Served, st.Dropped, total)
+	}
+	if st.Queued != 0 || st.Active != 0 {
+		t.Errorf("after shutdown queued=%d active=%d, want 0", st.Queued, st.Active)
+	}
+	var perWorker uint64
+	for _, w := range st.Workers {
+		perWorker += w.ServedLocal + w.ServedStolen
+	}
+	if perWorker != st.Served {
+		t.Errorf("per-worker served %d != aggregate %d", perWorker, st.Served)
+	}
+}
+
+// TestStealFromStalledWorker stalls worker 0 in its handler and checks
+// that idle workers steal its backlog: all connections are served and
+// the steal counter is nonzero. The shared-listener fallback is forced
+// so the round-robin acceptor deterministically assigns 1/N of the
+// connections to the stalled worker.
+func TestStealFromStalledWorker(t *testing.T) {
+	const workers, total = 4, 120
+	s, err := New(Config{
+		Workers:          workers,
+		DisableReusePort: true,
+		Backlog:          workers * 64,
+		HighPct:          20, // mark busy early so stealing engages
+		LowPct:           5,
+		WorkerHandler: func(worker int, conn net.Conn) {
+			if worker == 0 {
+				time.Sleep(20 * time.Millisecond) // the artificially stalled worker
+			}
+			echoHandler(conn)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	burst(t, s.Addr().String(), total)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+	if st.ServedStolen == 0 {
+		t.Fatalf("expected nonzero steals with a stalled worker; stats:\n%s", st)
+	}
+	if st.Served+st.Dropped != total {
+		t.Errorf("served %d + dropped %d != %d", st.Served, st.Dropped, total)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped %d connections; backlog should have absorbed the stall", st.Dropped)
+	}
+}
+
+// TestShutdownDrainsQueued checks that connections still queued when
+// Shutdown is called are served, not abandoned.
+func TestShutdownDrainsQueued(t *testing.T) {
+	const workers, total = 2, 40
+	gate := make(chan struct{})
+	var served atomic.Int64
+	s, err := New(Config{
+		Workers: workers,
+		Handler: func(conn net.Conn) {
+			<-gate // hold both workers until Shutdown is in flight
+			echoHandler(conn)
+			served.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	clients := make(chan struct{})
+	go func() {
+		burst(t, s.Addr().String(), total)
+		close(clients)
+	}()
+	// Wait until everything is accepted and queued behind the gate.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := s.Stats(); st.Accepted == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d accepted", s.Stats().Accepted, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutErr <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown close the listeners
+	close(gate)
+
+	if err := <-shutErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-clients
+	if got := served.Load(); got != total {
+		t.Fatalf("served %d, want all %d queued connections drained", got, total)
+	}
+}
+
+// TestShutdownDeadlineForcesClose checks the non-graceful path: with
+// workers permanently wedged, Shutdown returns the context error and
+// closes queued connections instead of hanging.
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	block := make(chan struct{})
+	s, err := New(Config{
+		Workers: 2,
+		Handler: func(conn net.Conn) { <-block; conn.Close() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			io.ReadAll(conn) // returns once the server force-closes
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Accepted < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown err = %v, want context.DeadlineExceeded", err)
+	}
+	st := s.Stats()
+	if st.Queued != 0 {
+		t.Errorf("forced shutdown left %d queued connections", st.Queued)
+	}
+	// The two wedged handlers are the only connections ever served; the
+	// six force-closed ones must not be counted as served.
+	if st.Served != 2 {
+		t.Errorf("served %d, want 2: discarded connections must not count as served", st.Served)
+	}
+	close(block) // release the wedged handlers so their clients finish
+	wg.Wait()
+}
+
+// TestSharedListenerFallback runs the portable path end to end.
+func TestSharedListenerFallback(t *testing.T) {
+	s, err := New(Config{
+		Workers:          3,
+		DisableReusePort: true,
+		Handler:          echoHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sharded() {
+		t.Fatal("DisableReusePort ignored")
+	}
+	s.Start()
+	burst(t, s.Addr().String(), 60)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+	if st.Served != 60 {
+		t.Fatalf("served %d, want 60", st.Served)
+	}
+	// Round-robin spreads accepts evenly across worker queues.
+	for _, w := range st.Workers {
+		if w.Accepted != 20 {
+			t.Errorf("worker %d accepted %d, want 20 (round-robin)", w.Worker, w.Accepted)
+		}
+	}
+}
+
+// TestConfigValidation covers the error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("want error when no handler is set")
+	}
+	if _, err := New(Config{
+		Handler:       echoHandler,
+		WorkerHandler: func(int, net.Conn) {},
+	}); err == nil {
+		t.Error("want error when both handlers are set")
+	}
+	if _, err := New(Config{Handler: echoHandler, Addr: "256.0.0.1:bad"}); err == nil {
+		t.Error("want error for a bad address")
+	}
+	// HighPct 8 leaves the default low watermark (10) above it; New must
+	// return an error, not let the core queues panic.
+	if _, err := New(Config{Handler: echoHandler, HighPct: 8}); err == nil {
+		t.Error("want error when low watermark >= high")
+	}
+	if _, err := New(Config{Handler: echoHandler, StealRatio: -1}); err == nil {
+		t.Error("want error for a negative steal ratio")
+	}
+}
+
+// TestStatsString sanity-checks the report rendering.
+func TestStatsString(t *testing.T) {
+	s, err := New(Config{Workers: 2, Handler: echoHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	burst(t, s.Addr().String(), 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	out := s.Stats().String()
+	for _, want := range []string{"worker", "accepted", "local", "stolen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorkerStats is one worker's view of the balancer, mirroring the
+// per-core counters the paper's kernel implementation exports.
+type WorkerStats struct {
+	Worker int
+	// Accepted counts connections accepted by this worker's listener
+	// (its kernel accept queue under SO_REUSEPORT).
+	Accepted uint64
+	// ServedLocal counts connections this worker served from its own
+	// queue; ServedStolen counts ones it stole from other workers.
+	ServedLocal  uint64
+	ServedStolen uint64
+	// Active is the number of handlers currently running.
+	Active int64
+	// QueueDepth is the instantaneous local queue length; Busy is the
+	// §3.3.1 busy bit.
+	QueueDepth int
+	Busy       bool
+}
+
+// Stats is an aggregate snapshot of a Server, shaped like the
+// simulator's RunResult locality counters.
+type Stats struct {
+	// Sharded reports one-SO_REUSEPORT-listener-per-worker mode.
+	Sharded bool
+	// Accepted counts pushes into the balancer; Served the pops;
+	// Dropped the queue-overflow sheds. Served = ServedLocal +
+	// ServedStolen.
+	Accepted     uint64
+	Served       uint64
+	ServedLocal  uint64
+	ServedStolen uint64
+	Dropped      uint64
+	// Queued and Active are instantaneous totals across workers.
+	Queued  int
+	Active  int64
+	Workers []WorkerStats
+}
+
+// LocalityPct is the percentage of served connections that stayed on
+// the worker whose listener accepted them — the user-space analogue of
+// the paper's connection-affinity metric.
+func (s Stats) LocalityPct() float64 {
+	if s.Served == 0 {
+		return 100
+	}
+	return 100 * float64(s.ServedLocal) / float64(s.Served)
+}
+
+// String renders the snapshot as an aligned per-worker table in the
+// shape the simulator's reports use.
+func (s Stats) String() string {
+	var b strings.Builder
+	mode := "shared listener (round-robin)"
+	if s.Sharded {
+		mode = "SO_REUSEPORT per-worker listeners"
+	}
+	fmt.Fprintf(&b, "mode: %s\n", mode)
+	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  queued %d  active %d\n",
+		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Queued, s.Active)
+	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %5s\n",
+		"worker", "accepted", "local", "stolen", "active", "qdepth", "busy")
+	for _, w := range s.Workers {
+		busy := ""
+		if w.Busy {
+			busy = "*"
+		}
+		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %5s\n",
+			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth, busy)
+	}
+	return b.String()
+}
