@@ -28,9 +28,12 @@
 //
 //   - The server: NewServer runs a production TCP server that applies
 //     the algorithms to real traffic — one SO_REUSEPORT listener per
-//     worker (with a portable shared-listener fallback), Balancer-
-//     backed stealing, graceful shutdown and per-worker stats (see the
-//     serve package, examples/reuseport and examples/webfarm).
+//     worker (with a portable shared-listener fallback), flow-group
+//     routing of every connection, Balancer-backed stealing, the
+//     §3.3.2 flow-group migration loop, a Requeue keep-alive path,
+//     graceful shutdown and per-worker locality/migration stats (see
+//     the serve package, examples/reuseport, examples/webfarm and
+//     examples/longlived).
 package affinityaccept
 
 import (
@@ -140,6 +143,21 @@ type FlowTable = core.FlowTable
 func NewFlowTable(groups, cores int) *FlowTable {
 	return core.NewFlowTable(groups, cores)
 }
+
+// GuardedFlowTable is a mutex-protected FlowTable for concurrent use:
+// acceptors route connections and charge per-group load while a
+// migration loop re-points groups (see serve).
+type GuardedFlowTable = core.GuardedFlowTable
+
+// NewGuardedFlowTable builds a concurrency-safe flow-group table.
+func NewGuardedFlowTable(groups, cores int) *GuardedFlowTable {
+	return core.NewGuardedFlowTable(groups, cores)
+}
+
+// InitialFlowOwner reports which core a flow group is steered to before
+// any migration — useful for load generators that construct skewed
+// workloads against a fresh server.
+func InitialFlowOwner(group, cores int) int { return core.InitialOwner(group, cores) }
 
 // FlowKey is a TCP/IP five-tuple.
 type FlowKey = core.FlowKey

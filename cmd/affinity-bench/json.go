@@ -1,0 +1,61 @@
+// JSON emission for the perf trajectory: each -serve run can append one
+// record to a JSON array file (CI writes BENCH_ci.json this way and
+// uploads it as an artifact, so every commit leaves a data point).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// benchReport is one -serve run's metrics, shaped for trend tooling:
+// throughput, latency percentiles, and the paper's locality, steal and
+// migration counters.
+type benchReport struct {
+	Scenario     string  `json:"scenario"`
+	Workers      int     `json:"workers"`
+	Clients      int     `json:"clients"`
+	LongLived    int     `json:"longLived,omitempty"`
+	DurationSecs float64 `json:"durationSecs"`
+	ReqPerSec    float64 `json:"reqPerSec"`
+	ConnPerSec   float64 `json:"connPerSec"`
+	P50us        float64 `json:"p50us"`
+	P95us        float64 `json:"p95us"`
+	P99us        float64 `json:"p99us"`
+	Failed       uint64  `json:"failed"`
+	Sharded      bool    `json:"sharded"`
+	MigrationOn  bool    `json:"migrationOn"`
+	LocalityPct  float64 `json:"localityPct"`
+	StealPct     float64 `json:"stealPct"`
+	Migrations   uint64  `json:"migrations"`
+	Requeued     uint64  `json:"requeued"`
+	Dropped      uint64  `json:"dropped"`
+}
+
+// appendJSONReport appends rep to the JSON array in path, creating the
+// file if needed. Read-modify-write keeps the file a valid JSON array
+// rather than JSON-lines, so downstream tooling can ingest it directly.
+func appendJSONReport(path string, rep benchReport) error {
+	var reports []benchReport
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(data) > 0 {
+			if jerr := json.Unmarshal(data, &reports); jerr != nil {
+				return fmt.Errorf("existing file is not a JSON report array: %w", jerr)
+			}
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First record.
+	default:
+		return err
+	}
+	reports = append(reports, rep)
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

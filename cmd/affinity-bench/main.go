@@ -9,7 +9,11 @@
 //
 //	affinity-bench -serve                  # real-server loopback benchmark
 //	affinity-bench -serve -stall 2         # stall worker 0: show stealing
+//	affinity-bench -serve -longlived 24    # skewed keep-alive workload:
+//	                                       # flow-group migration (§3.3.2)
+//	affinity-bench -serve -longlived 24 -migrate=false   # stealing only
 //	affinity-bench -client host:port       # drive an external server
+//	affinity-bench -serve -json BENCH_ci.json            # append a JSON record
 package main
 
 import (
@@ -38,20 +42,33 @@ func main() {
 		duration  = flag.Duration("duration", 2*time.Second, "load-generation window")
 		stall     = flag.Float64("stall", 0, "stall worker 0 this many ms per connection (demonstrates stealing)")
 		noShard   = flag.Bool("noshard", false, "force the shared-listener fallback instead of SO_REUSEPORT")
+
+		longlived    = flag.Int("longlived", 0, "drive N long-lived keep-alive connections skewed onto worker 0's flow groups (demonstrates §3.3.2 migration)")
+		work         = flag.Duration("work", 200*time.Microsecond, "per-request handler service time in -longlived mode")
+		migrate      = flag.Bool("migrate", true, "enable the flow-group migration loop")
+		migrateEvery = flag.Duration("migrate-interval", 0, "migration tick (0 = the paper's 100ms)")
+		groups       = flag.Int("groups", 0, "flow-group count (0 = the paper's 4096; -longlived defaults to 16)")
+		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 	)
 	flag.Parse()
 
 	if *serveMode || *client != "" {
 		err := runServeBench(serveOpts{
-			addr:     *addr,
-			client:   *client,
-			workers:  *workers,
-			clients:  *clients,
-			reqs:     *reqs,
-			payload:  *payload,
-			duration: *duration,
-			stallMS:  *stall,
-			noShard:  *noShard,
+			addr:         *addr,
+			client:       *client,
+			workers:      *workers,
+			clients:      *clients,
+			reqs:         *reqs,
+			payload:      *payload,
+			duration:     *duration,
+			stallMS:      *stall,
+			noShard:      *noShard,
+			longlived:    *longlived,
+			work:         *work,
+			migrate:      *migrate,
+			migrateEvery: *migrateEvery,
+			groups:       *groups,
+			jsonPath:     *jsonPath,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"affinityaccept"
+	"affinityaccept/internal/loadgen"
 )
 
 // serveOpts carries the -serve/-client flag values.
@@ -28,18 +29,52 @@ type serveOpts struct {
 	duration time.Duration
 	stallMS  float64 // artificial per-connection stall on worker 0
 	noShard  bool    // force the single-shared-listener fallback
+
+	longlived    int           // long-lived skewed connections (0 = short-lived mode)
+	work         time.Duration // per-request handler service time in longlived mode
+	migrate      bool          // run the §3.3.2 migration loop
+	migrateEvery time.Duration // migration tick (0 = paper default)
+	groups       int           // flow-group count (0 = default)
+	jsonPath     string        // append metrics to this JSON array file
 }
 
-// runServeBench starts (unless -client points elsewhere) a serve.Server
-// with an echo handler, drives it with a closed-loop load generator
-// over loopback, and prints throughput, latency percentiles and the
-// per-worker locality/steal table.
+// scenario names the run for reports and the JSON trajectory file.
+func (o serveOpts) scenario() string {
+	switch {
+	case o.longlived > 0 && o.migrate:
+		return "longlived-migrate"
+	case o.longlived > 0:
+		return "longlived-steal-only"
+	case o.stallMS > 0:
+		return "echo-stall"
+	default:
+		return "echo"
+	}
+}
+
+// runServeBench starts (unless -client points elsewhere) a serve.Server,
+// drives it with a closed-loop load generator over loopback — short
+// echo connections by default, long-lived skewed keep-alive connections
+// with -longlived — and prints throughput, latency percentiles and the
+// per-worker locality/steal/migration table.
 func runServeBench(o serveOpts) error {
 	if o.workers <= 0 {
 		o.workers = runtime.GOMAXPROCS(0)
 		if o.workers < 2 {
 			o.workers = 2 // stealing needs someone to steal from
 		}
+	}
+	if o.longlived > 0 && o.stallMS > 0 {
+		// The handler switch below would silently drop the stall and
+		// mislabel the run; refuse rather than measure the wrong thing.
+		return fmt.Errorf("-stall cannot be combined with -longlived (the keep-alive workload overloads worker 0 via -work instead)")
+	}
+	if o.longlived > 0 && o.groups == 0 {
+		// A compact table keeps the skew legible — worker 0 owns
+		// groups/workers of them and the report shows whole groups
+		// moving — while 64 groups is still fine-grained enough for
+		// migration to spread the hot groups evenly over the claimants.
+		o.groups = 64
 	}
 	var srv *affinityaccept.Server
 	target := o.client
@@ -48,8 +83,18 @@ func runServeBench(o serveOpts) error {
 			Addr:             o.addr,
 			Workers:          o.workers,
 			DisableReusePort: o.noShard,
+			FlowGroups:       o.groups,
+			MigrateInterval:  o.migrateEvery,
+			DisableMigration: !o.migrate,
 		}
-		if o.stallMS > 0 {
+		switch {
+		case o.longlived > 0:
+			cfg.Handler = func(conn net.Conn) { keepAliveEcho(srv, conn, o.payload, o.work) }
+			// The skewed keep-alive queue must cross the busy watermark
+			// for stealing (and therefore migration) to engage.
+			cfg.Backlog = o.workers * 64
+			cfg.HighPct, cfg.LowPct = 20, 5
+		case o.stallMS > 0:
 			stall := time.Duration(o.stallMS * float64(time.Millisecond))
 			cfg.WorkerHandler = func(worker int, conn net.Conn) {
 				if worker == 0 {
@@ -60,7 +105,7 @@ func runServeBench(o serveOpts) error {
 			// Stealing engages when the stalled worker crosses its high
 			// watermark; lower it so modest benchmark loads get there.
 			cfg.HighPct, cfg.LowPct = 20, 5
-		} else {
+		default:
 			cfg.Handler = echo
 		}
 		var err error
@@ -74,21 +119,41 @@ func runServeBench(o serveOpts) error {
 		if srv.Sharded() {
 			mode = "SO_REUSEPORT shards"
 		}
-		fmt.Printf("serving on %s: %d workers, %s\n", target, o.workers, mode)
+		migr := "off"
+		if o.migrate {
+			migr = "on"
+		}
+		fmt.Printf("serving on %s: %d workers, %s, %d flow groups, migration %s\n",
+			target, o.workers, mode, srv.FlowGroups(), migr)
 	} else {
 		fmt.Printf("driving external server at %s\n", target)
 	}
 
-	lat, requests, conns, failed := drive(target, o)
+	var lat []float64
+	var requests, conns, failed uint64
+	if o.longlived > 0 {
+		lat, requests, conns, failed = driveLongLived(target, srv, o)
+	} else {
+		lat, requests, conns, failed = drive(target, o)
+	}
 	secs := o.duration.Seconds()
 
 	fmt.Println()
-	fmt.Printf("SERVE — closed-loop echo load over loopback (%d clients, %d reqs/conn, %dB payload)\n",
-		o.clients, o.reqs, o.payload)
+	if o.longlived > 0 {
+		fmt.Printf("SERVE — skewed keep-alive load over loopback (%d long-lived conns on worker 0's groups, %dB payload, %v work/req)\n",
+			o.longlived, o.payload, o.work)
+	} else {
+		fmt.Printf("SERVE — closed-loop echo load over loopback (%d clients, %d reqs/conn, %dB payload)\n",
+			o.clients, o.reqs, o.payload)
+	}
 	header := []string{"workers", "clients", "secs", "req/s", "conn/s", "p50(us)", "p95(us)", "p99(us)", "failed"}
+	nClients := o.clients
+	if o.longlived > 0 {
+		nClients = o.longlived
+	}
 	row := []string{
 		fmt.Sprintf("%d", o.workers),
-		fmt.Sprintf("%d", o.clients),
+		fmt.Sprintf("%d", nClients),
 		fmt.Sprintf("%.1f", secs),
 		fmt.Sprintf("%.0f", float64(requests)/secs),
 		fmt.Sprintf("%.0f", float64(conns)/secs),
@@ -99,6 +164,20 @@ func runServeBench(o serveOpts) error {
 	}
 	printAligned(header, [][]string{row})
 
+	rep := benchReport{
+		Scenario:     o.scenario(),
+		Workers:      o.workers,
+		Clients:      nClients,
+		LongLived:    o.longlived,
+		DurationSecs: secs,
+		ReqPerSec:    float64(requests) / secs,
+		ConnPerSec:   float64(conns) / secs,
+		P50us:        percentile(lat, 50),
+		P95us:        percentile(lat, 95),
+		P99us:        percentile(lat, 99),
+		Failed:       failed,
+		MigrationOn:  o.migrate,
+	}
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -107,14 +186,55 @@ func runServeBench(o serveOpts) error {
 		}
 		st := srv.Stats()
 		fmt.Println()
-		fmt.Printf("locality: %.1f%% of %d connections served on their accepting worker (%d stolen, %d dropped)\n",
+		fmt.Printf("locality: %.1f%% of %d handler passes served by the flow group's owning worker (%d stolen, %d dropped)\n",
 			st.LocalityPct(), st.Served, st.ServedStolen, st.Dropped)
+		if o.longlived > 0 {
+			fmt.Printf("migration report: %d flow-group migrations, %d keep-alive requeues\n",
+				st.Migrations, st.Requeued)
+		}
 		fmt.Print(st)
 		if o.stallMS > 0 {
-			fmt.Printf("note: worker 0 stalled %.1fms per connection; \"stolen\" shows the §3.3 rescue\n", o.stallMS)
+			fmt.Printf("note: worker 0 stalled %.1fms per connection; \"stolen\" shows the §3.3.1 rescue\n", o.stallMS)
 		}
+		if o.longlived > 0 && o.migrate {
+			fmt.Println("note: \"migr-in\" shows §3.3.2 — non-busy workers claimed worker 0's hot groups, making later passes local")
+		}
+		rep.Sharded = st.Sharded
+		rep.LocalityPct = st.LocalityPct()
+		rep.StealPct = st.StealPct()
+		rep.Migrations = st.Migrations
+		rep.Requeued = st.Requeued
+		rep.Dropped = st.Dropped
+	}
+	if o.jsonPath != "" {
+		if err := appendJSONReport(o.jsonPath, rep); err != nil {
+			return fmt.Errorf("write %s: %w", o.jsonPath, err)
+		}
+		fmt.Printf("\nappended %q record to %s\n", rep.Scenario, o.jsonPath)
 	}
 	return nil
+}
+
+// keepAliveEcho is the long-lived-mode handler: one request per pass
+// (read payload, spend the service time, echo), then the connection
+// goes back to the server via Requeue so the next pass re-consults the
+// flow table — the path migration optimizes.
+func keepAliveEcho(srv *affinityaccept.Server, conn net.Conn, payload int, work time.Duration) {
+	buf := make([]byte, payload)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		conn.Close()
+		return
+	}
+	if work > 0 {
+		time.Sleep(work)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		return
+	}
+	if !srv.Requeue(conn) {
+		conn.Close()
+	}
 }
 
 // echo copies the client's bytes back until EOF.
@@ -167,6 +287,79 @@ func drive(target string, o serveOpts) (lat []float64, requests, conns, failed u
 				conn.Close()
 			}
 		}()
+	}
+	wg.Wait()
+	return lat, reqN.Load(), connN.Load(), failN.Load()
+}
+
+// driveLongLived opens o.longlived persistent connections whose source
+// ports all hash into flow groups initially owned by worker 0 — the
+// paper's skewed long-lived workload — and runs request/response loops
+// on every connection for the window.
+func driveLongLived(target string, srv *affinityaccept.Server, o serveOpts) (lat []float64, requests, conns, failed uint64) {
+	groups := 1
+	for groups < o.groups {
+		groups <<= 1
+	}
+	base := loadgen.PortBase(groups)
+	ownerOf := func(g int) int {
+		if srv != nil {
+			return srv.OwnerOf(uint16(base + g))
+		}
+		// External target: assume a fresh table (no migrations yet).
+		return affinityaccept.InitialFlowOwner(g, o.workers)
+	}
+	if srv == nil {
+		fmt.Printf("note: external target — the skew assumes the server runs %d workers and %d flow groups with no prior migrations; pass matching -workers/-groups or the workload is not skewed\n",
+			o.workers, groups)
+	}
+	var hot []int
+	for g := 0; g < groups; g++ {
+		if ownerOf(g) == 0 {
+			hot = append(hot, g)
+		}
+	}
+	if len(hot) == 0 {
+		hot = []int{0}
+	}
+
+	var mu sync.Mutex
+	var reqN, connN, failN atomic.Uint64
+	stop := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for i := 0; i < o.longlived; i++ {
+		conn, err := loadgen.DialGroup(target, hot[i%len(hot)], groups)
+		if err != nil {
+			failN.Add(1)
+			continue
+		}
+		connN.Add(1)
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(o.duration + 30*time.Second))
+			msg := make([]byte, o.payload)
+			local := make([]float64, 0, 4096)
+			defer func() {
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			}()
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				if _, err := conn.Write(msg); err != nil {
+					failN.Add(1)
+					return
+				}
+				if _, err := io.ReadFull(conn, msg); err != nil {
+					failN.Add(1)
+					return
+				}
+				local = append(local, float64(time.Since(t0).Microseconds()))
+				reqN.Add(1)
+			}
+		}(conn)
 	}
 	wg.Wait()
 	return lat, reqN.Load(), connN.Load(), failN.Load()

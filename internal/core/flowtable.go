@@ -16,7 +16,8 @@ const DefaultMigrateInterval = 100 * time.Millisecond
 // FlowTable maps flow groups to cores, mirroring the FDir hash table the
 // kernel programs into the NIC. Migrating a group re-points one entry.
 type FlowTable struct {
-	groupOf []int32 // group -> core
+	groupOf []int32  // group -> core
+	load    []uint64 // group -> recent routing activity (decayed each tick)
 	nCores  int
 	mask    uint32
 
@@ -24,8 +25,19 @@ type FlowTable struct {
 	Migrations uint64
 }
 
+// InitialOwner is the core a group is steered to before any migration:
+// a diagonal (latin-square) spread that is exactly balanced like
+// round-robin but decorrelated from the group number's low bits. Plain
+// `group % cores` would alias the client's source-port parity onto the
+// core choice (Linux hands connect() odd ephemeral ports, so with an
+// even core count every client would land on an odd core); offsetting
+// each block of `cores` groups by one breaks that resonance.
+func InitialOwner(group, cores int) int {
+	return (group + group/cores) % cores
+}
+
 // NewFlowTable builds a table of nGroups groups (rounded up to a power
-// of two) spread round-robin over cores, as the driver initializes FDir.
+// of two) spread evenly over cores, as the driver initializes FDir.
 func NewFlowTable(nGroups, cores int) *FlowTable {
 	if cores <= 0 {
 		panic("core: FlowTable needs at least one core")
@@ -36,11 +48,12 @@ func NewFlowTable(nGroups, cores int) *FlowTable {
 	}
 	t := &FlowTable{
 		groupOf: make([]int32, size),
+		load:    make([]uint64, size),
 		nCores:  cores,
 		mask:    uint32(size - 1),
 	}
 	for g := range t.groupOf {
-		t.groupOf[g] = int32(g % cores)
+		t.groupOf[g] = int32(InitialOwner(g, cores))
 	}
 	return t
 }
@@ -82,21 +95,46 @@ func (t *FlowTable) GroupCount() []int {
 	return counts
 }
 
-// anyGroupOn returns some group currently steered to the core, or -1.
-func (t *FlowTable) anyGroupOn(core int) int {
+// ObserveLoad charges n units of routing activity to a group. Real
+// servers call it once per connection routed through the group, so the
+// migration policy can move the *hottest* group rather than an
+// arbitrary one.
+func (t *FlowTable) ObserveLoad(group int, n uint64) { t.load[group] += n }
+
+// LoadOf reports a group's accumulated (decayed) routing activity.
+func (t *FlowTable) LoadOf(group int) uint64 { return t.load[group] }
+
+// hottestGroupOn returns the victim's group with the highest recent
+// load, or -1 when the victim owns none. With no load data (the
+// simulator never observes load) every group ties at zero and the
+// lowest-numbered group wins, matching the original arbitrary pick.
+func (t *FlowTable) hottestGroupOn(core int) int {
+	best, bestLoad := -1, uint64(0)
 	for g, c := range t.groupOf {
-		if int(c) == core {
-			return g
+		if int(c) != core {
+			continue
+		}
+		if best < 0 || t.load[g] > bestLoad {
+			best, bestLoad = g, t.load[g]
 		}
 	}
-	return -1
+	return best
+}
+
+// decayLoads halves every group's activity counter, so hotness reflects
+// the recent balancing intervals rather than all time.
+func (t *FlowTable) decayLoads() {
+	for g := range t.load {
+		t.load[g] >>= 1
+	}
 }
 
 // PickMigration implements the §3.3.2 policy for one non-busy core at
 // the end of a balancing interval: choose the victim core from which
-// `core` stole the most connections, and select one of the victim's flow
-// groups to migrate to `core`. It returns ok=false when the core stole
-// nothing, is itself the top victim, or the victim has no groups left.
+// `core` stole the most connections, and select the victim's hottest
+// flow group to migrate to `core`. It returns ok=false when the core
+// stole nothing, is itself the top victim, or the victim has no groups
+// left.
 func (t *FlowTable) PickMigration(core int, stolenFrom []uint64) (group, victim int, ok bool) {
 	best, bestCount := -1, uint64(0)
 	for v, n := range stolenFrom {
@@ -110,25 +148,39 @@ func (t *FlowTable) PickMigration(core int, stolenFrom []uint64) (group, victim 
 	if best < 0 {
 		return 0, -1, false
 	}
-	g := t.anyGroupOn(best)
+	g := t.hottestGroupOn(best)
 	if g < 0 {
 		return 0, -1, false
 	}
 	return g, best, true
 }
 
-// Balance runs one full balancing tick: every non-busy core that stole
-// connections migrates one flow group from its top victim, then resets
-// its steal counters. It returns the number of migrations applied.
-// The simulator calls this every DefaultMigrateInterval; real deployments
-// would reprogram the NIC's FDir table here.
+// Migration describes one applied flow-group migration: Group moved
+// from core From to core To.
+type Migration struct {
+	Group, From, To int
+}
+
+// Balance runs one full balancing tick and returns the number of
+// migrations applied. See BalanceRecord.
+func Balance[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) int {
+	return len(BalanceRecord(t, q, eligible))
+}
+
+// BalanceRecord runs one full balancing tick: every non-busy core that
+// stole connections migrates its top victim's hottest flow group to
+// itself, then resets its steal counters; finally all group loads decay.
+// It returns the applied migrations. The simulator calls this every
+// DefaultMigrateInterval; the serve package calls it from its migration
+// goroutine; a kernel deployment would reprogram the NIC's FDir table
+// here.
 //
 // The optional eligible predicate vetoes migration targets beyond the
 // busy check: a core whose CPU is consumed by unrelated work has an
 // empty accept queue (nothing reaches it) yet must not pull flow groups
 // to itself.
-func Balance[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) int {
-	applied := 0
+func BalanceRecord[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) []Migration {
+	var applied []Migration
 	for core := 0; core < q.Cores(); core++ {
 		q.maybeClearBusy(core)
 		if q.Busy(core) {
@@ -139,11 +191,12 @@ func Balance[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) in
 			q.ResetSteals(core)
 			continue
 		}
-		if group, _, ok := t.PickMigration(core, q.cores[core].stolenFrom); ok {
+		if group, victim, ok := t.PickMigration(core, q.cores[core].stolenFrom); ok {
 			t.Migrate(group, core)
-			applied++
+			applied = append(applied, Migration{Group: group, From: victim, To: core})
 		}
 		q.ResetSteals(core)
 	}
+	t.decayLoads()
 	return applied
 }

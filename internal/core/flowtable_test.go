@@ -100,6 +100,73 @@ func TestPickMigrationVictimOutOfGroups(t *testing.T) {
 	}
 }
 
+func TestInitialOwnerBalancedAndParitySafe(t *testing.T) {
+	// Exactly balanced: every core owns the same number of groups ±1.
+	for _, cores := range []int{2, 4, 7, 48} {
+		ft := NewFlowTable(4096, cores)
+		counts := ft.GroupCount()
+		min, max := counts[0], counts[0]
+		for _, n := range counts {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("cores=%d: group counts uneven: %v", cores, counts)
+		}
+	}
+	// Parity-safe: Linux gives connect() odd ephemeral ports, so a
+	// stride-2 port sequence must still spread over an even core count.
+	ft := NewFlowTable(4096, 4)
+	counts := make([]int, 4)
+	for p := 40001; p < 40001+256; p += 2 {
+		counts[ft.CoreForPort(uint16(p))]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("odd-port clients starve core %d: %v", c, counts)
+		}
+	}
+}
+
+func TestPickMigrationPrefersHottestGroup(t *testing.T) {
+	ft := NewFlowTable(16, 4)
+	victim := 2
+	// Two groups on the victim; make the second one hot.
+	var groups []int
+	for g := 0; g < ft.Groups(); g++ {
+		if ft.CoreOf(g) == victim {
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) < 2 {
+		t.Fatalf("victim owns %d groups, need 2", len(groups))
+	}
+	ft.ObserveLoad(groups[0], 3)
+	ft.ObserveLoad(groups[1], 50)
+	g, v, ok := ft.PickMigration(0, []uint64{0, 0, 7, 0})
+	if !ok || v != victim {
+		t.Fatalf("victim=%d ok=%v, want %d", v, ok, victim)
+	}
+	if g != groups[1] {
+		t.Fatalf("picked group %d (load %d), want hottest %d (load %d)",
+			g, ft.LoadOf(g), groups[1], ft.LoadOf(groups[1]))
+	}
+}
+
+func TestBalanceDecaysLoads(t *testing.T) {
+	ft := NewFlowTable(16, 2)
+	q := NewQueues[int](Config{Cores: 2, Backlog: 8})
+	ft.ObserveLoad(3, 8)
+	BalanceRecord(ft, q, nil)
+	if ft.LoadOf(3) != 4 {
+		t.Fatalf("load after one tick = %d, want 4 (halved)", ft.LoadOf(3))
+	}
+}
+
 func TestBalanceMovesGroupsTowardStealers(t *testing.T) {
 	ft := NewFlowTable(64, 4)
 	q := NewQueues[int](Config{Cores: 4, Backlog: 16, StealRatio: 1})

@@ -84,6 +84,20 @@ func (g *Guarded[T]) Balance(t *FlowTable) int {
 	return Balance(t, g.q, nil)
 }
 
+// BalanceTable runs one §3.3.2 migration tick against a concurrently
+// used flow table and returns the applied migrations. It holds both
+// locks — queues first, then table — so routing never observes a
+// half-applied tick; this is the only code path that nests the two, so
+// the ordering cannot deadlock against acceptors (which take each lock
+// separately).
+func (g *Guarded[T]) BalanceTable(gt *GuardedFlowTable, eligible func(core int) bool) []Migration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	return BalanceRecord(gt.t, g.q, eligible)
+}
+
 // Stats returns (pushes, locals, steals, drops).
 func (g *Guarded[T]) Stats() (pushes, locals, steals, drops uint64) {
 	g.mu.Lock()

@@ -1,0 +1,80 @@
+package core
+
+import "sync"
+
+// GuardedFlowTable wraps FlowTable with a mutex for use from real
+// concurrent code: acceptor goroutines route connections and charge
+// group load while a migration goroutine re-points groups. It is the
+// flow-table counterpart of Guarded — the paper's kernel locks the FDir
+// shadow table the same way around driver reprogramming.
+type GuardedFlowTable struct {
+	mu sync.Mutex
+	t  *FlowTable
+}
+
+// NewGuardedFlowTable builds a mutex-protected flow table of nGroups
+// groups (rounded up to a power of two) spread evenly over cores.
+func NewGuardedFlowTable(nGroups, cores int) *GuardedFlowTable {
+	return &GuardedFlowTable{t: NewFlowTable(nGroups, cores)}
+}
+
+// Groups reports the number of flow groups (immutable after creation).
+func (g *GuardedFlowTable) Groups() int { return g.t.Groups() }
+
+// GroupOf maps a source port to its flow group. The mask is immutable,
+// so no lock is needed.
+func (g *GuardedFlowTable) GroupOf(srcPort uint16) int { return g.t.GroupOf(srcPort) }
+
+// Route maps a source port to its flow group and the group's current
+// owning core, charging `weight` units of load to the group. This is
+// the one call an acceptor makes per routed connection.
+func (g *GuardedFlowTable) Route(srcPort uint16, weight uint64) (group, core int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	group = g.t.GroupOf(srcPort)
+	core = int(g.t.groupOf[group])
+	g.t.ObserveLoad(group, weight)
+	return group, core
+}
+
+// CoreOf reports which core a group is currently steered to.
+func (g *GuardedFlowTable) CoreOf(group int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.CoreOf(group)
+}
+
+// CoreForPort composes GroupOf and CoreOf without charging load.
+func (g *GuardedFlowTable) CoreForPort(srcPort uint16) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.CoreForPort(srcPort)
+}
+
+// Migrate re-points one flow group to a new core.
+func (g *GuardedFlowTable) Migrate(group, toCore int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.t.Migrate(group, toCore)
+}
+
+// Migrations reports the number of applied flow-group migrations.
+func (g *GuardedFlowTable) Migrations() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.Migrations
+}
+
+// GroupCount reports how many groups are currently steered to each core.
+func (g *GuardedFlowTable) GroupCount() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.GroupCount()
+}
+
+// LoadOf reports a group's accumulated (decayed) routing activity.
+func (g *GuardedFlowTable) LoadOf(group int) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.t.LoadOf(group)
+}

@@ -1,0 +1,31 @@
+// Package loadgen holds the client-side helper the benchmark, the
+// examples and the serve tests share to construct the paper's skewed
+// workloads: dialing with an explicit loopback source port that hashes
+// into a chosen flow group.
+package loadgen
+
+import (
+	"fmt"
+	"net"
+)
+
+// PortBase is the lowest source port DialGroup binds: the largest
+// multiple of the (power-of-two) flow-group count not above 20000, so
+// PortBase+g hashes into group g and stays clear of well-known ports.
+func PortBase(groups int) int { return 20000 - 20000%groups }
+
+// DialGroup opens a connection to target whose local source port hashes
+// into the given flow group, binding explicit ports base+group,
+// base+group+groups, ... until one is free.
+func DialGroup(target string, group, groups int) (net.Conn, error) {
+	var lastErr error
+	for port := PortBase(groups) + group; port < 61000; port += groups {
+		d := net.Dialer{LocalAddr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port}}
+		conn, err := d.Dial("tcp", target)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("loadgen: no free source port for group %d: %w", group, lastErr)
+}

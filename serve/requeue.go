@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net"
+	"sync"
+)
+
+// parkedConn wraps a requeued keep-alive connection while it waits for
+// its next request. The park goroutine blocks on a one-byte read — the
+// only portable "wait until readable" Go offers — and the byte is
+// replayed to the handler through Read. The wrapper is reused across
+// requeue passes so a long-lived connection never accretes nesting.
+type parkedConn struct {
+	net.Conn
+	head byte
+	has  bool
+}
+
+func (p *parkedConn) Read(b []byte) (int, error) {
+	if p.has {
+		if len(b) == 0 {
+			return 0, nil
+		}
+		b[0] = p.head
+		p.has = false
+		return 1, nil
+	}
+	return p.Conn.Read(b)
+}
+
+// parkSet tracks connections currently parked (waiting for their next
+// request between requeue passes). Shutdown closes every parked
+// connection — their park goroutines then unblock and exit — and waits
+// for in-flight park goroutines to finish pushing before the worker
+// drain begins, so no connection is pushed onto a queue after the
+// workers have exited.
+type parkSet struct {
+	mu     sync.Mutex
+	conns  map[*parkedConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newParkSet() *parkSet {
+	return &parkSet{conns: make(map[*parkedConn]struct{})}
+}
+
+// add registers a connection about to park. It reports false — and
+// registers nothing — once closeAll has run; the caller then still owns
+// the connection.
+func (ps *parkSet) add(p *parkedConn) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.closed {
+		return false
+	}
+	ps.conns[p] = struct{}{}
+	ps.wg.Add(1)
+	return true
+}
+
+// remove unregisters a connection whose park read completed; the park
+// goroutine still owns it until push or close, and must call done.
+func (ps *parkSet) remove(p *parkedConn) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	delete(ps.conns, p)
+}
+
+func (ps *parkSet) done() { ps.wg.Done() }
+
+// closeAll rejects future parks and closes every currently parked
+// connection, unblocking their park reads.
+func (ps *parkSet) closeAll() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.closed = true
+	for p := range ps.conns {
+		p.Conn.Close()
+	}
+}
+
+// wait blocks until every in-flight park goroutine has finished
+// (pushed its connection or closed it).
+func (ps *parkSet) wait() { ps.wg.Wait() }
+
+// Requeue returns a still-open connection to the server for another
+// handler pass — the keep-alive path that makes flow-group migration
+// matter (§3.3.2): each pass re-consults the flow table, so after a
+// group migrates, the connection's next request is served by the new
+// owning worker instead of being stolen remotely forever.
+//
+// The server parks the connection until its next request byte arrives,
+// then routes it through the flow table onto the owning worker's queue;
+// the handler sees the byte again. Requeue reports false when the
+// server is shutting down — the caller then still owns the connection
+// and must close it. After a successful Requeue the server owns the
+// connection; if its queue overflows or the peer disconnects while
+// parked, the server closes it.
+func (s *Server) Requeue(conn net.Conn) bool {
+	p, ok := conn.(*parkedConn)
+	if !ok {
+		p = &parkedConn{Conn: conn}
+	}
+	if !s.parked.add(p) {
+		return false
+	}
+	s.requeued.Add(1)
+	go s.park(p)
+	return true
+}
+
+// park waits for the connection's next request byte, then routes it
+// back into the balancer. A handler may requeue without having consumed
+// the replayed byte (responding early, backpressure); that byte is
+// still the next unread input, so the connection re-routes immediately
+// instead of reading — and losing — a second byte.
+func (s *Server) park(p *parkedConn) {
+	defer s.parked.done()
+	if !p.has {
+		var buf [1]byte
+		n, err := p.Conn.Read(buf[:])
+		if err != nil || n == 0 {
+			s.parked.remove(p)
+			p.Conn.Close() // peer gone, or Shutdown closed us mid-park
+			return
+		}
+		p.head, p.has = buf[0], true
+	}
+	s.parked.remove(p)
+	worker := s.route(p)
+	if !s.bal.Push(worker, p) {
+		p.Conn.Close() // queue overflow: shed load, as at accept time
+		return
+	}
+	s.wakeWorkers()
+}

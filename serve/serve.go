@@ -1,22 +1,31 @@
 // Package serve is the production half of the Affinity-Accept
 // reproduction: a real TCP server built on the paper's per-core accept
-// queues (§3.2) and connection-stealing policy (§3.3).
+// queues (§3.2), connection-stealing policy (§3.3.1) and flow-group
+// migration (§3.3.2).
 //
 // On Linux the server opens one SO_REUSEPORT listener per worker, so
 // the kernel gives every worker its own accept queue — the user-space
 // equivalent of the paper's per-core clone sockets. Each accepted
-// connection is pushed onto its worker's queue in a core.Guarded
-// balancer, and workers pop with the paper's policy: local connections
-// preferred, one remote steal per StealRatio local accepts when some
-// other worker is over its high watermark. A stalled worker's backlog
-// is therefore drained by idle workers instead of timing out, while an
-// unloaded server keeps every connection on the worker (and, with the
-// kernel's reuseport hashing, the core) that accepted it.
+// connection's remote port is hashed into a flow group (the paper's
+// low-source-port-bits FDir groups, §3.1) and the connection is pushed
+// onto the queue of the worker that currently *owns* that group, in a
+// core.Guarded balancer. Workers pop with the paper's policy: local
+// connections preferred, one remote steal per StealRatio local accepts
+// when some other worker is over its high watermark. A stalled worker's
+// backlog is therefore drained by idle workers instead of timing out.
+//
+// Stealing alone leaves a long-lived connection remote forever: every
+// keep-alive pass re-enters the overloaded owner's queue and is stolen
+// again. The migration loop fixes that — every MigrateInterval, each
+// non-busy worker re-points the hottest flow group of the victim it
+// stole from most at itself (§3.3.2), so subsequent connections in that
+// group, and requeued keep-alive connections returned via
+// Server.Requeue, land locally.
 //
 // On other platforms, or when SO_REUSEPORT is unavailable, the server
-// falls back to a single shared listener whose acceptor round-robins
-// connections across the worker queues; the stealing policy is
-// unchanged.
+// falls back to a single shared listener; connections are still routed
+// through the same flow-group table, so locality and migration stats
+// stay meaningful.
 package serve
 
 import (
@@ -71,9 +80,22 @@ type Config struct {
 	HighPct, LowPct float64
 
 	// DisableReusePort forces the single-shared-listener fallback even
-	// on Linux. The acceptor then round-robins connections across the
-	// worker queues.
+	// on Linux. Connections are still routed through the flow-group
+	// table, exactly as in sharded mode.
 	DisableReusePort bool
+
+	// FlowGroups is the number of flow groups connections are hashed
+	// into by the low bits of their remote port, rounded up to a power
+	// of two (0 = the paper's 4,096, §3.1).
+	FlowGroups int
+	// MigrateInterval is how often each non-busy worker considers
+	// claiming one flow group from the victim it stole from most
+	// (0 = the paper's 100ms, §3.3.2).
+	MigrateInterval time.Duration
+	// DisableMigration turns the migration loop off, leaving accept-time
+	// stealing as the only balancing mechanism (the paper's §3.3.1-only
+	// configuration; useful for A/B comparison).
+	DisableMigration bool
 }
 
 func (c *Config) fill() error {
@@ -107,16 +129,27 @@ func (c *Config) fill() error {
 	if c.Backlog < 0 || c.StealRatio < 0 {
 		return errors.New("serve: Backlog and StealRatio must be non-negative")
 	}
+	if c.FlowGroups < 0 || c.MigrateInterval < 0 {
+		return errors.New("serve: FlowGroups and MigrateInterval must be non-negative")
+	}
+	if c.FlowGroups == 0 {
+		c.FlowGroups = core.DefaultFlowGroups
+	}
+	if c.MigrateInterval == 0 {
+		c.MigrateInterval = core.DefaultMigrateInterval
+	}
 	return nil
 }
 
 // Server is a multi-listener TCP server applying Affinity-Accept's
-// queueing and stealing policy to real connections.
+// queueing, stealing and flow-group-migration policies to real
+// connections.
 type Server struct {
 	cfg     Config
 	handler WorkerHandler
 
 	bal       *core.Guarded[net.Conn]
+	flow      *core.GuardedFlowTable
 	listeners []net.Listener
 	sharded   bool // one listener per worker (SO_REUSEPORT)
 
@@ -130,16 +163,19 @@ type Server struct {
 	acceptWG sync.WaitGroup
 	workerWG sync.WaitGroup
 
-	workers []workerState
-	rr      atomic.Uint64 // round-robin cursor for the shared-listener fallback
+	workers  []workerState
+	parked   *parkSet      // keep-alive connections between requeue passes
+	requeued atomic.Uint64 // successful Requeue calls
+	rr       atomic.Uint64 // round-robin cursor for non-TCP remote addresses
 }
 
 // workerState holds one worker's atomically updated counters.
 type workerState struct {
-	accepted     atomic.Uint64 // connections accepted by this worker's listener
+	accepted     atomic.Uint64 // connections routed to this worker at accept time
 	servedLocal  atomic.Uint64 // served from this worker's own queue
 	servedStolen atomic.Uint64 // served by this worker from another queue
 	active       atomic.Int64  // handlers currently running on this worker
+	migratedIn   atomic.Uint64 // flow groups this worker claimed via §3.3.2
 }
 
 // New creates a Server and binds its listeners; the returned server is
@@ -153,9 +189,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		flow:    core.NewGuardedFlowTable(cfg.FlowGroups, cfg.Workers),
 		wake:    make(chan struct{}, cfg.Workers),
 		drainCh: make(chan struct{}),
 		workers: make([]workerState, cfg.Workers),
+		parked:  newParkSet(),
 	}
 	if cfg.WorkerHandler != nil {
 		s.handler = cfg.WorkerHandler
@@ -207,46 +245,102 @@ func (s *Server) Sharded() bool { return s.sharded }
 // Workers reports the configured worker count.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
-// Start launches the acceptor and worker goroutines. It returns
-// immediately; use Shutdown to stop.
+// FlowGroups reports the (rounded-up) flow-group count.
+func (s *Server) FlowGroups() int { return s.flow.Groups() }
+
+// OwnerOf reports which worker currently owns the flow group a remote
+// port hashes into — the queue a connection from that port would be
+// routed to right now.
+func (s *Server) OwnerOf(remotePort uint16) int { return s.flow.CoreForPort(remotePort) }
+
+// Start launches the acceptor, worker and migration goroutines. It
+// returns immediately; use Shutdown to stop.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
-	for i, l := range s.listeners {
+	for _, l := range s.listeners {
 		s.acceptWG.Add(1)
-		go s.acceptLoop(i, l)
+		go s.acceptLoop(l)
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.workerLoop(i)
 	}
+	if !s.cfg.DisableMigration {
+		s.workerWG.Add(1)
+		go s.migrateLoop()
+	}
 }
 
-// acceptLoop accepts connections from one listener and pushes them onto
-// a worker queue: the listener's own worker when sharded, round-robin
-// otherwise.
-func (s *Server) acceptLoop(idx int, l net.Listener) {
+// route maps a connection to the worker owning its flow group, charging
+// one unit of load to the group. The flow table — not the accepting
+// listener — is the routing authority, exactly as the paper's NIC FDir
+// table decides which core receives a flow's packets; under
+// SO_REUSEPORT the kernel's four-tuple hash merely picks which acceptor
+// goroutine performs the push. Non-TCP remote addresses (unix sockets)
+// have no port to hash and fall back to round-robin.
+func (s *Server) route(conn net.Conn) int {
+	if addr, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		_, worker := s.flow.Route(uint16(addr.Port), 1)
+		return worker
+	}
+	return int(s.rr.Add(1)-1) % s.cfg.Workers
+}
+
+// wakeWorkers nudges one sleeping worker after a push.
+func (s *Server) wakeWorkers() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// acceptLoop accepts connections from one listener and pushes each onto
+// the queue of the worker owning its flow group.
+func (s *Server) acceptLoop(l net.Listener) {
 	defer s.acceptWG.Done()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return // listener closed (Shutdown) or fatal
 		}
-		worker := idx
-		if !s.sharded {
-			worker = int(s.rr.Add(1)-1) % s.cfg.Workers
-		}
+		worker := s.route(conn)
 		s.workers[worker].accepted.Add(1)
 		if !s.bal.Push(worker, conn) {
 			conn.Close() // queue overflow: shed load (§3.3 drop)
 			continue
 		}
+		s.wakeWorkers()
+	}
+}
+
+// migrateLoop runs the §3.3.2 balancing tick every MigrateInterval
+// until shutdown: each non-busy worker claims the hottest flow group of
+// the victim it stole from most, so that group's future connections —
+// and requeued keep-alive passes — become local.
+func (s *Server) migrateLoop() {
+	defer s.workerWG.Done()
+	ticker := time.NewTicker(s.cfg.MigrateInterval)
+	defer ticker.Stop()
+	for {
 		select {
-		case s.wake <- struct{}{}:
-		default:
+		case <-ticker.C:
+			s.balanceOnce()
+		case <-s.drainCh:
+			return
 		}
 	}
+}
+
+// balanceOnce applies one migration tick and attributes each claimed
+// group to its new owner. Tests drive it directly for determinism.
+func (s *Server) balanceOnce() int {
+	moves := s.bal.BalanceTable(s.flow, nil)
+	for _, m := range moves {
+		s.workers[m.To].migratedIn.Add(1)
+	}
+	return len(moves)
 }
 
 // idleSamplePeriod is the virtual sampling interval an idle worker's
@@ -306,16 +400,19 @@ func (s *Server) workerLoop(worker int) {
 	}
 }
 
-// Shutdown gracefully stops the server: it closes every listener, lets
-// the workers drain all queued connections, and waits for in-flight
-// handlers. If ctx expires first, still-queued connections are closed
-// and ctx.Err is returned; handlers already running are not interrupted.
+// Shutdown gracefully stops the server: it closes every listener and
+// every parked keep-alive connection, lets the workers drain all queued
+// connections, and waits for in-flight handlers. If ctx expires first,
+// still-queued connections are closed and ctx.Err is returned; handlers
+// already running are not interrupted.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutOnce.Do(func() {
 		for _, l := range s.listeners {
 			l.Close()
 		}
-		s.acceptWG.Wait() // all pushes are done
+		s.acceptWG.Wait()   // all accept-time pushes are done
+		s.parked.closeAll() // unpark: idle keep-alive conns read EOF and close
+		s.parked.wait()     // in-flight parks have pushed or closed
 		s.draining.Store(true)
 		close(s.drainCh)
 	})
@@ -347,15 +444,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats returns a consistent-enough snapshot of the server's counters.
+// With keep-alive requeueing in play, Served counts handler passes, not
+// connections: a long-lived connection contributes one pass per
+// request, each classified local or stolen by the queue it was popped
+// from — exactly the per-packet-batch locality the paper measures.
 func (s *Server) Stats() Stats {
-	pushes, locals, steals, drops := s.bal.Stats()
+	_, locals, steals, drops := s.bal.Stats()
+	groups := s.flow.GroupCount()
 	st := Stats{
 		Sharded:      s.sharded,
-		Accepted:     pushes,
+		FlowGroups:   s.flow.Groups(),
 		Served:       locals + steals,
 		ServedLocal:  locals,
 		ServedStolen: steals,
 		Dropped:      drops,
+		Requeued:     s.requeued.Load(),
+		Migrations:   s.flow.Migrations(),
 		Workers:      make([]WorkerStats, s.cfg.Workers),
 	}
 	for i := range st.Workers {
@@ -368,7 +472,10 @@ func (s *Server) Stats() Stats {
 			Active:       w.active.Load(),
 			QueueDepth:   s.bal.Len(i),
 			Busy:         s.bal.Busy(i),
+			GroupsOwned:  groups[i],
+			MigratedIn:   w.migratedIn.Load(),
 		}
+		st.Accepted += st.Workers[i].Accepted
 		st.Queued += st.Workers[i].QueueDepth
 		st.Active += st.Workers[i].Active
 	}

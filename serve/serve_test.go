@@ -26,6 +26,13 @@ func dialEcho(t *testing.T, addr string, i int) {
 		t.Errorf("dial %d: %v", i, err)
 		return
 	}
+	echoOnce(t, conn, i)
+}
+
+// echoOnce round-trips one message on an already-open connection and
+// closes it.
+func echoOnce(t *testing.T, conn net.Conn, i int) {
+	t.Helper()
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	msg := []byte(fmt.Sprintf("hello %d", i))
@@ -108,17 +115,19 @@ func TestBurstAllServed(t *testing.T) {
 
 // TestStealFromStalledWorker stalls worker 0 in its handler and checks
 // that idle workers steal its backlog: all connections are served and
-// the steal counter is nonzero. The shared-listener fallback is forced
-// so the round-robin acceptor deterministically assigns 1/N of the
-// connections to the stalled worker.
+// the steal counter is nonzero. The clients bind source ports spread
+// evenly over a small flow-group table, so exactly 1/N of the
+// connections deterministically route to the stalled worker regardless
+// of the OS's ephemeral-port pattern.
 func TestStealFromStalledWorker(t *testing.T) {
-	const workers, total = 4, 120
+	const workers, total, groups = 4, 120, 8
 	s, err := New(Config{
 		Workers:          workers,
 		DisableReusePort: true,
+		FlowGroups:       groups,
 		Backlog:          workers * 64,
 		HighPct:          20, // mark busy early so stealing engages
-		LowPct:           5,
+		LowPct:           2,  // ~30 pushes only nudge the 1/128-alpha EWMA to ~4; keep busy latched
 		WorkerHandler: func(worker int, conn net.Conn) {
 			if worker == 0 {
 				time.Sleep(20 * time.Millisecond) // the artificially stalled worker
@@ -130,7 +139,16 @@ func TestStealFromStalledWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Start()
-	burst(t, s.Addr().String(), total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		conn := dialHot(t, s.Addr().String(), i%groups, groups)
+		wg.Add(1)
+		go func(conn net.Conn, i int) {
+			defer wg.Done()
+			echoOnce(t, conn, i)
+		}(conn, i)
+	}
+	wg.Wait()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -207,10 +225,12 @@ func TestShutdownDrainsQueued(t *testing.T) {
 // workers permanently wedged, Shutdown returns the context error and
 // closes queued connections instead of hanging.
 func TestShutdownDeadlineForcesClose(t *testing.T) {
+	const groups = 8
 	block := make(chan struct{})
 	s, err := New(Config{
-		Workers: 2,
-		Handler: func(conn net.Conn) { <-block; conn.Close() },
+		Workers:    2,
+		FlowGroups: groups,
+		Handler:    func(conn net.Conn) { <-block; conn.Close() },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -219,17 +239,17 @@ func TestShutdownDeadlineForcesClose(t *testing.T) {
 
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
+		// One connection per flow group: both workers' queues
+		// deterministically receive work, so exactly one handler wedges
+		// on each worker.
+		conn := dialHot(t, s.Addr().String(), i%groups, groups)
 		wg.Add(1)
-		go func() {
+		go func(conn net.Conn) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", s.Addr().String())
-			if err != nil {
-				return
-			}
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			io.ReadAll(conn) // returns once the server force-closes
-		}()
+		}(conn)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for s.Stats().Accepted < 8 && time.Now().Before(deadline) {
@@ -254,7 +274,9 @@ func TestShutdownDeadlineForcesClose(t *testing.T) {
 	wg.Wait()
 }
 
-// TestSharedListenerFallback runs the portable path end to end.
+// TestSharedListenerFallback runs the portable path end to end: the
+// single shared listener routes through the same flow-group table as
+// sharded mode, so locality and group stats stay meaningful off-Linux.
 func TestSharedListenerFallback(t *testing.T) {
 	s, err := New(Config{
 		Workers:          3,
@@ -278,11 +300,21 @@ func TestSharedListenerFallback(t *testing.T) {
 	if st.Served != 60 {
 		t.Fatalf("served %d, want 60", st.Served)
 	}
-	// Round-robin spreads accepts evenly across worker queues.
+	if st.Accepted != 60 {
+		t.Fatalf("accepted %d, want 60", st.Accepted)
+	}
+	// Flow-group routing spreads ephemeral client ports across all
+	// workers (the diagonal initial assignment breaks port-parity
+	// clumping); with 60 sequential-ish dials every worker sees some.
+	totalGroups := 0
 	for _, w := range st.Workers {
-		if w.Accepted != 20 {
-			t.Errorf("worker %d accepted %d, want 20 (round-robin)", w.Worker, w.Accepted)
+		if w.Accepted == 0 {
+			t.Errorf("worker %d accepted 0 connections; flow-group routing starved it:\n%s", w.Worker, st)
 		}
+		totalGroups += w.GroupsOwned
+	}
+	if totalGroups != st.FlowGroups {
+		t.Errorf("groups owned sum to %d, want %d", totalGroups, st.FlowGroups)
 	}
 }
 

@@ -22,6 +22,10 @@ type WorkerStats struct {
 	// §3.3.1 busy bit.
 	QueueDepth int
 	Busy       bool
+	// GroupsOwned is how many flow groups currently steer to this
+	// worker; MigratedIn counts groups it claimed via §3.3.2 migration.
+	GroupsOwned int
+	MigratedIn  uint64
 }
 
 // Stats is an aggregate snapshot of a Server, shaped like the
@@ -29,23 +33,29 @@ type WorkerStats struct {
 type Stats struct {
 	// Sharded reports one-SO_REUSEPORT-listener-per-worker mode.
 	Sharded bool
-	// Accepted counts pushes into the balancer; Served the pops;
-	// Dropped the queue-overflow sheds. Served = ServedLocal +
-	// ServedStolen.
+	// FlowGroups is the (rounded-up) flow-group count.
+	FlowGroups int
+	// Accepted counts connections routed at accept time; Served counts
+	// handler passes (accepts plus requeue passes); Dropped the
+	// queue-overflow sheds. Served = ServedLocal + ServedStolen.
 	Accepted     uint64
 	Served       uint64
 	ServedLocal  uint64
 	ServedStolen uint64
 	Dropped      uint64
+	// Requeued counts successful Server.Requeue calls; Migrations the
+	// applied §3.3.2 flow-group migrations.
+	Requeued   uint64
+	Migrations uint64
 	// Queued and Active are instantaneous totals across workers.
 	Queued  int
 	Active  int64
 	Workers []WorkerStats
 }
 
-// LocalityPct is the percentage of served connections that stayed on
-// the worker whose listener accepted them — the user-space analogue of
-// the paper's connection-affinity metric.
+// LocalityPct is the percentage of served handler passes that stayed on
+// the worker owning the connection's flow group — the user-space
+// analogue of the paper's connection-affinity metric.
 func (s Stats) LocalityPct() float64 {
 	if s.Served == 0 {
 		return 100
@@ -53,26 +63,36 @@ func (s Stats) LocalityPct() float64 {
 	return 100 * float64(s.ServedLocal) / float64(s.Served)
 }
 
+// StealPct is the percentage of served handler passes that were stolen
+// from another worker's queue.
+func (s Stats) StealPct() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return 100 * float64(s.ServedStolen) / float64(s.Served)
+}
+
 // String renders the snapshot as an aligned per-worker table in the
 // shape the simulator's reports use.
 func (s Stats) String() string {
 	var b strings.Builder
-	mode := "shared listener (round-robin)"
+	mode := "shared listener"
 	if s.Sharded {
 		mode = "SO_REUSEPORT per-worker listeners"
 	}
-	fmt.Fprintf(&b, "mode: %s\n", mode)
-	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  queued %d  active %d\n",
-		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Queued, s.Active)
-	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %5s\n",
-		"worker", "accepted", "local", "stolen", "active", "qdepth", "busy")
+	fmt.Fprintf(&b, "mode: %s, %d flow groups\n", mode, s.FlowGroups)
+	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  requeued %d  migrations %d  queued %d  active %d\n",
+		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Requeued, s.Migrations, s.Queued, s.Active)
+	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %7s %8s %5s\n",
+		"worker", "accepted", "local", "stolen", "active", "qdepth", "groups", "migr-in", "busy")
 	for _, w := range s.Workers {
 		busy := ""
 		if w.Busy {
 			busy = "*"
 		}
-		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %5s\n",
-			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth, busy)
+		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %7d %8d %5s\n",
+			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth,
+			w.GroupsOwned, w.MigratedIn, busy)
 	}
 	return b.String()
 }
