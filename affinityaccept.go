@@ -34,6 +34,13 @@
 //     graceful shutdown and per-worker locality/migration stats (see
 //     the serve package, examples/reuseport, examples/webfarm and
 //     examples/longlived).
+//
+//   - The HTTP layer: the httpaff package serves HTTP/1.1 with
+//     keep-alive and pipelining on top of serve, keeping request
+//     memory as core-local as the connections via worker-private
+//     context arenas — zero allocations per request on the
+//     steady-state path, with per-worker pool-reuse counters in the
+//     server stats to prove the locality (see examples/webfarm).
 package affinityaccept
 
 import (

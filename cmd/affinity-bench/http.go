@@ -1,0 +1,241 @@
+// The -http mode drives the httpaff layer — pipelined keep-alive
+// HTTP/1.1 over loopback — and reports throughput, latency, the
+// locality/steal/migration table, and the worker-local pool reuse rate
+// that proves request memory stayed core-local.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityaccept/httpaff"
+)
+
+// httpOpts carries the -http flag values.
+type httpOpts struct {
+	addr     string
+	workers  int
+	clients  int // concurrent keep-alive connections
+	pipeline int // requests per pipelined batch
+	payload  int // response body bytes
+	duration time.Duration
+	noShard  bool
+
+	migrate      bool
+	migrateEvery time.Duration
+	groups       int
+	jsonPath     string
+}
+
+func (o httpOpts) scenario() string {
+	if o.migrate {
+		return "http-keepalive"
+	}
+	return "http-keepalive-nomigrate"
+}
+
+// runHTTPBench starts an httpaff server, drives it with pipelined
+// keep-alive clients, and prints the combined transport + pool report.
+func runHTTPBench(o httpOpts) error {
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+		if o.workers < 2 {
+			o.workers = 2
+		}
+	}
+	if o.pipeline <= 0 {
+		o.pipeline = 16
+	}
+	body := bytes.Repeat([]byte("x"), o.payload)
+	srv, err := httpaff.New(httpaff.Config{
+		Addr:             o.addr,
+		Workers:          o.workers,
+		DisableReusePort: o.noShard,
+		FlowGroups:       o.groups,
+		MigrateInterval:  o.migrateEvery,
+		DisableMigration: !o.migrate,
+		Handler: func(ctx *httpaff.RequestCtx) {
+			ctx.Write(body)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	target := srv.Addr().String()
+	mode := "shared listener"
+	if srv.Sharded() {
+		mode = "SO_REUSEPORT shards"
+	}
+	migr := "off"
+	if o.migrate {
+		migr = "on"
+	}
+	fmt.Printf("httpaff on %s: %d workers, %s, %d flow groups, migration %s\n",
+		target, o.workers, mode, srv.FlowGroups(), migr)
+
+	lat, requests, failed := driveHTTP(target, o)
+	secs := o.duration.Seconds()
+
+	fmt.Println()
+	fmt.Printf("HTTP — pipelined keep-alive over loopback (%d conns, %d reqs/batch, %dB body)\n",
+		o.clients, o.pipeline, o.payload)
+	header := []string{"workers", "conns", "pipeline", "secs", "req/s", "p50(us)", "p95(us)", "p99(us)", "failed"}
+	row := []string{
+		fmt.Sprintf("%d", o.workers),
+		fmt.Sprintf("%d", o.clients),
+		fmt.Sprintf("%d", o.pipeline),
+		fmt.Sprintf("%.1f", secs),
+		fmt.Sprintf("%.0f", float64(requests)/secs),
+		fmt.Sprintf("%.0f", percentile(lat, 50)),
+		fmt.Sprintf("%.0f", percentile(lat, 95)),
+		fmt.Sprintf("%.0f", percentile(lat, 99)),
+		fmt.Sprintf("%d", failed),
+	}
+	printAligned(header, [][]string{row})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Println("shutdown:", err)
+	}
+	st := srv.Stats()
+	fmt.Println()
+	fmt.Printf("locality: %.1f%% of %d handler passes on the owning worker; pool reuse: %.1f%% of %d gets worker-local (%d misses)\n",
+		st.LocalityPct(), st.Served, st.Pool.ReusePct(), st.Pool.Gets(), st.Pool.Misses)
+	fmt.Printf("keep-alive: %d requeues, %d flow-group migrations\n", st.Requeued, st.Migrations)
+	fmt.Print(st)
+
+	rep := benchReport{
+		Scenario:     o.scenario(),
+		Workers:      o.workers,
+		Clients:      o.clients,
+		Pipeline:     o.pipeline,
+		DurationSecs: secs,
+		ReqPerSec:    float64(requests) / secs,
+		P50us:        percentile(lat, 50),
+		P95us:        percentile(lat, 95),
+		P99us:        percentile(lat, 99),
+		Failed:       failed,
+		Sharded:      st.Sharded,
+		MigrationOn:  o.migrate,
+		LocalityPct:  st.LocalityPct(),
+		StealPct:     st.StealPct(),
+		Migrations:   st.Migrations,
+		Requeued:     st.Requeued,
+		Dropped:      st.Dropped,
+		PoolGets:     st.Pool.Gets(),
+		PoolMisses:   st.Pool.Misses,
+		PoolReusePct: st.Pool.ReusePct(),
+	}
+	rep.fillEnv()
+	if o.jsonPath != "" {
+		if err := appendJSONReport(o.jsonPath, rep); err != nil {
+			return fmt.Errorf("write %s: %w", o.jsonPath, err)
+		}
+		fmt.Printf("\nappended %q record to %s\n", rep.Scenario, o.jsonPath)
+	}
+	return nil
+}
+
+var httpBenchRequest = []byte("GET /bench HTTP/1.1\r\nHost: bench\r\nUser-Agent: affinity-bench\r\n\r\n")
+
+// learnResponseLen performs one exchange and returns the (fixed)
+// response length, so the batch loop can read with exact ReadFulls
+// instead of parsing every response.
+func learnResponseLen(conn net.Conn) (int, error) {
+	if _, err := conn.Write(httpBenchRequest); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 64<<10)
+	n := 0
+	for {
+		m, err := conn.Read(buf[n:])
+		if err != nil {
+			return 0, err
+		}
+		n += m
+		i := bytes.Index(buf[:n], []byte("\r\n\r\n"))
+		if i < 0 {
+			continue
+		}
+		cl := bytes.Index(buf[:i], []byte("Content-Length: "))
+		if cl < 0 {
+			return 0, fmt.Errorf("response has no Content-Length: %q", buf[:i])
+		}
+		end := bytes.IndexByte(buf[cl:n], '\r') + cl
+		size, err := strconv.Atoi(string(buf[cl+len("Content-Length: ") : end]))
+		if err != nil {
+			return 0, err
+		}
+		total := i + 4 + size
+		for n < total {
+			m, err := conn.Read(buf[n:total])
+			if err != nil {
+				return 0, err
+			}
+			n += m
+		}
+		return total, nil
+	}
+}
+
+// driveHTTP runs the closed-loop pipelined clients and returns
+// per-request latencies (µs, batch RTT divided by depth), the request
+// count, and failures.
+func driveHTTP(target string, o httpOpts) (lat []float64, requests, failed uint64) {
+	var mu sync.Mutex
+	var reqN, failN atomic.Uint64
+	stop := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", target)
+			if err != nil {
+				failN.Add(1)
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(o.duration + 30*time.Second))
+			respLen, err := learnResponseLen(conn)
+			if err != nil {
+				failN.Add(1)
+				return
+			}
+			reqN.Add(1)
+			batch := bytes.Repeat(httpBenchRequest, o.pipeline)
+			resp := make([]byte, respLen*o.pipeline)
+			local := make([]float64, 0, 4096)
+			defer func() {
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			}()
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				if _, err := conn.Write(batch); err != nil {
+					failN.Add(1)
+					return
+				}
+				if _, err := io.ReadFull(conn, resp); err != nil {
+					failN.Add(1)
+					return
+				}
+				local = append(local, float64(time.Since(t0).Microseconds())/float64(o.pipeline))
+				reqN.Add(uint64(o.pipeline))
+			}
+		}()
+	}
+	wg.Wait()
+	return lat, reqN.Load(), failN.Load()
+}

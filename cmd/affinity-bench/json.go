@@ -8,19 +8,23 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 )
 
-// benchReport is one -serve run's metrics, shaped for trend tooling:
-// throughput, latency percentiles, and the paper's locality, steal and
-// migration counters.
+// benchReport is one -serve/-http run's metrics, shaped for trend
+// tooling: throughput, latency percentiles, the paper's locality, steal
+// and migration counters, the httpaff pool counters, and the runtime
+// environment (fillEnv) so records are comparable across runs and
+// machines.
 type benchReport struct {
 	Scenario     string  `json:"scenario"`
 	Workers      int     `json:"workers"`
 	Clients      int     `json:"clients"`
 	LongLived    int     `json:"longLived,omitempty"`
+	Pipeline     int     `json:"pipeline,omitempty"`
 	DurationSecs float64 `json:"durationSecs"`
 	ReqPerSec    float64 `json:"reqPerSec"`
-	ConnPerSec   float64 `json:"connPerSec"`
+	ConnPerSec   float64 `json:"connPerSec,omitempty"`
 	P50us        float64 `json:"p50us"`
 	P95us        float64 `json:"p95us"`
 	P99us        float64 `json:"p99us"`
@@ -32,6 +36,25 @@ type benchReport struct {
 	Migrations   uint64  `json:"migrations"`
 	Requeued     uint64  `json:"requeued"`
 	Dropped      uint64  `json:"dropped"`
+
+	// httpaff worker-local pool counters (http scenarios only).
+	PoolGets     uint64  `json:"poolGets,omitempty"`
+	PoolMisses   uint64  `json:"poolMisses,omitempty"`
+	PoolReusePct float64 `json:"poolReusePct,omitempty"`
+
+	// Environment metadata.
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// fillEnv stamps the runtime environment onto the record.
+func (r *benchReport) fillEnv() {
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.OS = runtime.GOOS
+	r.Arch = runtime.GOARCH
 }
 
 // appendJSONReport appends rep to the JSON array in path, creating the

@@ -14,6 +14,10 @@
 //	affinity-bench -serve -longlived 24 -migrate=false   # stealing only
 //	affinity-bench -client host:port       # drive an external server
 //	affinity-bench -serve -json BENCH_ci.json            # append a JSON record
+//
+//	affinity-bench -http                   # httpaff: pipelined keep-alive HTTP/1.1
+//	affinity-bench -http -pipeline 32 -clients 16        # deeper pipelines
+//	affinity-bench -http -migrate=false                  # without §3.3.2 migration
 package main
 
 import (
@@ -43,6 +47,9 @@ func main() {
 		stall     = flag.Float64("stall", 0, "stall worker 0 this many ms per connection (demonstrates stealing)")
 		noShard   = flag.Bool("noshard", false, "force the shared-listener fallback instead of SO_REUSEPORT")
 
+		httpMode = flag.Bool("http", false, "benchmark the httpaff HTTP/1.1 layer with pipelined keep-alive clients")
+		pipeline = flag.Int("pipeline", 16, "requests per pipelined batch in -http mode")
+
 		longlived    = flag.Int("longlived", 0, "drive N long-lived keep-alive connections skewed onto worker 0's flow groups (demonstrates §3.3.2 migration)")
 		work         = flag.Duration("work", 200*time.Microsecond, "per-request handler service time in -longlived mode")
 		migrate      = flag.Bool("migrate", true, "enable the flow-group migration loop")
@@ -51,6 +58,27 @@ func main() {
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 	)
 	flag.Parse()
+
+	if *httpMode {
+		err := runHTTPBench(httpOpts{
+			addr:         *addr,
+			workers:      *workers,
+			clients:      *clients,
+			pipeline:     *pipeline,
+			payload:      *payload,
+			duration:     *duration,
+			noShard:      *noShard,
+			migrate:      *migrate,
+			migrateEvery: *migrateEvery,
+			groups:       *groups,
+			jsonPath:     *jsonPath,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveMode || *client != "" {
 		err := runServeBench(serveOpts{

@@ -206,6 +206,7 @@ func runServeBench(o serveOpts) error {
 		rep.Requeued = st.Requeued
 		rep.Dropped = st.Dropped
 	}
+	rep.fillEnv()
 	if o.jsonPath != "" {
 		if err := appendJSONReport(o.jsonPath, rep); err != nil {
 			return fmt.Errorf("write %s: %w", o.jsonPath, err)

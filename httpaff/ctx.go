@@ -1,0 +1,238 @@
+package httpaff
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// headerField is one parsed request header; key and value alias the
+// context's read buffer (zero-copy) and are valid only for the handler
+// call.
+type headerField struct {
+	key, val []byte
+}
+
+// request is the parsed view of one HTTP/1.1 request. Every byte slice
+// aliases the context's read buffer.
+type request struct {
+	method, uri, proto []byte
+	path, query        []byte
+	headers            []headerField
+	body               []byte
+	contentLength      int
+	keepAlive          bool
+}
+
+func (r *request) reset() {
+	r.method, r.uri, r.proto = nil, nil, nil
+	r.path, r.query, r.body = nil, nil, nil
+	r.headers = r.headers[:0]
+	r.contentLength = 0
+	r.keepAlive = false
+}
+
+// response accumulates what the handler sets; serialization happens
+// once, after the handler returns.
+type response struct {
+	status      int
+	contentType string
+	extra       []byte // raw "Key: Value\r\n" lines from SetHeader
+	body        []byte
+	connClose   bool
+}
+
+func (r *response) reset() {
+	r.status = http.StatusOK
+	r.contentType = "text/plain; charset=utf-8"
+	r.extra = r.extra[:0]
+	r.body = r.body[:0]
+	r.connClose = false
+}
+
+// RequestCtx carries one request/response exchange. Contexts are pooled
+// in per-worker arenas: a handler must not retain the ctx or any byte
+// slice obtained from it past its return — copy what must outlive the
+// request.
+type RequestCtx struct {
+	srv    *Server
+	conn   net.Conn // the pass's connection (park wrapper after pass 1)
+	state  *conn    // per-connection HTTP state
+	worker int
+
+	rbuf []byte // request bytes; req slices alias this
+	rlen int    // valid bytes in rbuf
+	rpos int    // consumed bytes (start of the next pipelined request)
+
+	wbuf []byte // serialized responses awaiting one flush
+
+	req  request
+	resp response
+}
+
+func (ctx *RequestCtx) begin(nc net.Conn, c *conn, worker int) {
+	ctx.conn, ctx.state, ctx.worker = nc, c, worker
+}
+
+func (ctx *RequestCtx) end() {
+	ctx.conn, ctx.state = nil, nil
+	ctx.rlen, ctx.rpos = 0, 0
+	ctx.wbuf = ctx.wbuf[:0]
+	ctx.req.reset()
+	ctx.resp.reset()
+}
+
+// buffered reports how many unconsumed request bytes are sitting in the
+// read buffer — nonzero means the client pipelined further requests.
+func (ctx *RequestCtx) buffered() int { return ctx.rlen - ctx.rpos }
+
+// flush writes the accumulated responses in one syscall.
+func (ctx *RequestCtx) flush() error {
+	if len(ctx.wbuf) == 0 {
+		return nil
+	}
+	_, err := ctx.conn.Write(ctx.wbuf)
+	ctx.wbuf = ctx.wbuf[:0]
+	return err
+}
+
+// ---- request accessors (zero-copy; valid during the handler call) ----
+
+// Method returns the request method verbatim (e.g. "GET").
+func (ctx *RequestCtx) Method() []byte { return ctx.req.method }
+
+// Path returns the request target up to any '?'.
+func (ctx *RequestCtx) Path() []byte { return ctx.req.path }
+
+// Query returns the raw query string after '?', or nil.
+func (ctx *RequestCtx) Query() []byte { return ctx.req.query }
+
+// URI returns the full request target.
+func (ctx *RequestCtx) URI() []byte { return ctx.req.uri }
+
+// Protocol returns the request's HTTP version token.
+func (ctx *RequestCtx) Protocol() []byte { return ctx.req.proto }
+
+// Body returns the request body, or nil.
+func (ctx *RequestCtx) Body() []byte { return ctx.req.body }
+
+// Header returns the value of the named request header (ASCII
+// case-insensitive; name must be lowercase), or nil.
+func (ctx *RequestCtx) Header(name string) []byte {
+	for i := range ctx.req.headers {
+		if equalFold(ctx.req.headers[i].key, name) {
+			return ctx.req.headers[i].val
+		}
+	}
+	return nil
+}
+
+// Worker reports which worker is serving this pass — with migration
+// enabled, successive requests on one connection may report different
+// workers exactly once per flow-group migration.
+func (ctx *RequestCtx) Worker() int { return ctx.worker }
+
+// RequestNum reports how many requests this connection has served,
+// including the current one.
+func (ctx *RequestCtx) RequestNum() int { return ctx.state.reqs }
+
+// RemoteAddr reports the client address.
+func (ctx *RequestCtx) RemoteAddr() net.Addr { return ctx.conn.RemoteAddr() }
+
+// ---- response construction ----
+
+// SetStatus sets the response status code (default 200).
+func (ctx *RequestCtx) SetStatus(code int) { ctx.resp.status = code }
+
+// SetContentType sets the Content-Type header (default "text/plain;
+// charset=utf-8").
+func (ctx *RequestCtx) SetContentType(ct string) { ctx.resp.contentType = ct }
+
+// SetHeader adds a response header. Content-Type, Content-Length,
+// Server, Date and Connection are managed by the server; use
+// SetContentType / SetConnectionClose for the ones that are settable.
+func (ctx *RequestCtx) SetHeader(key, value string) {
+	b := ctx.resp.extra
+	b = append(b, key...)
+	b = append(b, ": "...)
+	b = append(b, value...)
+	ctx.resp.extra = append(b, '\r', '\n')
+}
+
+// Write appends to the response body; RequestCtx is an io.Writer.
+func (ctx *RequestCtx) Write(p []byte) (int, error) {
+	ctx.resp.body = append(ctx.resp.body, p...)
+	return len(p), nil
+}
+
+// WriteString appends to the response body.
+func (ctx *RequestCtx) WriteString(s string) (int, error) {
+	ctx.resp.body = append(ctx.resp.body, s...)
+	return len(s), nil
+}
+
+// SetConnectionClose makes this response the connection's last.
+func (ctx *RequestCtx) SetConnectionClose() { ctx.resp.connClose = true }
+
+// ---- serialization ----
+
+var (
+	crlf        = []byte("\r\n")
+	status200   = "HTTP/1.1 200 OK\r\n"
+	serverColon = "Server: "
+	dateColon   = "\r\nDate: "
+	ctypeColon  = "\r\nContent-Type: "
+	clenColon   = "\r\nContent-Length: "
+	connClose   = "Connection: close\r\n"
+)
+
+func appendStatusLine(b []byte, code int) []byte {
+	if code == http.StatusOK {
+		return append(b, status200...)
+	}
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(code), 10)
+	b = append(b, ' ')
+	if text := http.StatusText(code); text != "" {
+		b = append(b, text...)
+	} else {
+		b = append(b, "Status"...)
+	}
+	return append(b, '\r', '\n')
+}
+
+// appendResponse serializes the handler's response onto the write
+// buffer. HEAD responses carry the Content-Length of the body they
+// suppress, per RFC 9110.
+func (ctx *RequestCtx) appendResponse(closing bool) {
+	b := ctx.wbuf
+	b = appendStatusLine(b, ctx.resp.status)
+	b = append(b, serverColon...)
+	b = append(b, ctx.srv.name...)
+	b = append(b, dateColon...)
+	b = append(b, ctx.srv.dateBytes()...)
+	b = append(b, ctypeColon...)
+	b = append(b, ctx.resp.contentType...)
+	b = append(b, clenColon...)
+	b = strconv.AppendInt(b, int64(len(ctx.resp.body)), 10)
+	b = append(b, crlf...)
+	b = append(b, ctx.resp.extra...)
+	if closing {
+		b = append(b, connClose...)
+	}
+	b = append(b, crlf...)
+	if !equalFold(ctx.req.method, "head") {
+		b = append(b, ctx.resp.body...)
+	}
+	ctx.wbuf = b
+}
+
+// writeError flushes any pending pipelined responses followed by a
+// minimal close-delimited error response.
+func (ctx *RequestCtx) writeError(e *protoError) {
+	b := ctx.wbuf
+	b = appendStatusLine(b, e.code)
+	b = append(b, "Content-Length: 0\r\nConnection: close\r\n\r\n"...)
+	ctx.wbuf = b
+	ctx.flush() // best effort; the connection closes either way
+}

@@ -1,0 +1,373 @@
+// Package httpaff is a core-local HTTP/1.1 serving layer on top of
+// serve: keep-alive and pipelining with zero allocations per request on
+// the steady-state path, built so that *memory* stays as core-local as
+// the connections the underlying server routes.
+//
+// The paper evaluates Affinity-Accept through a real web workload
+// (§6.2), where the win is that every phase of a connection's
+// processing touches one core's caches. A user-space HTTP layer throws
+// that away if its request objects and I/O buffers bounce between
+// workers — which is exactly what a process-wide sync.Pool does: any
+// worker can drain objects another worker's cache is warm for. httpaff
+// instead gives every worker a private arena of pooled RequestCtx
+// objects (request state plus read/write buffers). A worker acquires a
+// context from its own arena at the start of a handler pass and
+// releases it to the same arena at the end; nothing is ever handed
+// across workers. When a keep-alive connection parks between requests
+// (Server.Requeue) and §3.3.2 migration re-points its flow group, the
+// next pass runs on the new owning worker using that worker's warm
+// arena — the connection moved, the memory never did.
+//
+// The per-worker pool counters (alloc / reuse / drop, surfaced through
+// serve.Stats) prove the claim: after startup the reuse rate sits at
+// ~100%, because the one-connection-at-a-time worker model needs
+// exactly one warm context per worker.
+package httpaff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityaccept/serve"
+)
+
+// HandlerFunc serves one parsed request. The ctx — including every
+// byte slice obtained from it — is owned by the worker's arena and must
+// not be retained after the handler returns.
+type HandlerFunc func(ctx *RequestCtx)
+
+// Config parameterizes a Server. Handler is required; everything else
+// has working defaults.
+type Config struct {
+	// Network and Addr are passed through to the serve layer
+	// (defaults "tcp", "127.0.0.1:0").
+	Network string
+	Addr    string
+
+	// Workers is the worker / listener / arena count (0 = GOMAXPROCS).
+	Workers int
+
+	// Handler serves every request. Use (*Router).Serve for path
+	// dispatch.
+	Handler HandlerFunc
+
+	// ServerName is the Server response header value (default
+	// "httpaff").
+	ServerName string
+
+	// ReadBufferSize and WriteBufferSize are the initial sizes of each
+	// pooled context's request and response buffers (defaults 4096).
+	// Buffers grow on demand and oversized ones are shed on release,
+	// so these size the steady state, not a limit.
+	ReadBufferSize  int
+	WriteBufferSize int
+
+	// MaxHeaderBytes bounds the request line plus headers (default
+	// 8192); larger requests are answered 431 and closed.
+	MaxHeaderBytes int
+	// MaxBodyBytes bounds a request body (default 1 MiB); larger
+	// bodies are answered 413 and closed.
+	MaxBodyBytes int
+
+	// MaxRequestsPerConn closes a connection (Connection: close) after
+	// it has served this many requests (0 = unlimited).
+	MaxRequestsPerConn int
+
+	// IdleTimeout closes a keep-alive connection parked longer than
+	// this between requests (0 = no limit).
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one request once the connection
+	// blocks for more bytes (0 = fall back to IdleTimeout; a
+	// connection stalled mid-request is idle capacity too, and workers
+	// serve one connection at a time).
+	ReadTimeout time.Duration
+
+	// MaxPooledPerWorker caps each worker arena's free list (default
+	// 32); contexts released beyond the cap are dropped to the GC.
+	MaxPooledPerWorker int
+
+	// The remaining fields pass straight through to serve.Config:
+	// queueing, stealing and migration behave exactly as for a raw TCP
+	// server.
+	Backlog          int
+	StealRatio       int
+	HighPct, LowPct  float64
+	DisableReusePort bool
+	FlowGroups       int
+	MigrateInterval  time.Duration
+	DisableMigration bool
+}
+
+func (c *Config) fill() error {
+	if c.Handler == nil {
+		return errors.New("httpaff: Config.Handler is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ServerName == "" {
+		c.ServerName = "httpaff"
+	}
+	if c.ReadBufferSize <= 0 {
+		c.ReadBufferSize = 4096
+	}
+	if c.WriteBufferSize <= 0 {
+		c.WriteBufferSize = 4096
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 8192
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxPooledPerWorker <= 0 {
+		c.MaxPooledPerWorker = 32
+	}
+	if c.MaxRequestsPerConn < 0 || c.IdleTimeout < 0 || c.ReadTimeout < 0 {
+		return errors.New("httpaff: limits must be non-negative")
+	}
+	return nil
+}
+
+// Server is an HTTP/1.1 server whose transport is serve.Server: per
+// worker SO_REUSEPORT listeners, flow-group routing, §3.3.1 stealing,
+// §3.3.2 migration, and Requeue-parked keep-alive connections — plus a
+// per-worker arena keeping request memory core-local.
+type Server struct {
+	cfg     Config
+	srv     *serve.Server
+	handler HandlerFunc
+	name    []byte
+	arenas  []*arena
+
+	draining atomic.Bool
+	started  atomic.Bool
+	stopOnce sync.Once
+
+	// date is the cached RFC 1123 Date header value, refreshed once a
+	// second so responses never format time on the hot path.
+	date     atomic.Pointer[[]byte]
+	stopDate chan struct{}
+}
+
+// New creates a Server and binds its listeners; call Start to begin
+// serving.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		handler:  cfg.Handler,
+		name:     []byte(cfg.ServerName),
+		arenas:   make([]*arena, cfg.Workers),
+		stopDate: make(chan struct{}),
+	}
+	for i := range s.arenas {
+		s.arenas[i] = &arena{s: s}
+	}
+	s.refreshDate()
+	srv, err := serve.New(serve.Config{
+		Network:          cfg.Network,
+		Addr:             cfg.Addr,
+		Workers:          cfg.Workers,
+		WorkerHandler:    s.serveConn,
+		Backlog:          cfg.Backlog,
+		StealRatio:       cfg.StealRatio,
+		HighPct:          cfg.HighPct,
+		LowPct:           cfg.LowPct,
+		DisableReusePort: cfg.DisableReusePort,
+		FlowGroups:       cfg.FlowGroups,
+		MigrateInterval:  cfg.MigrateInterval,
+		DisableMigration: cfg.DisableMigration,
+		WorkerPool: func(worker int) serve.PoolStats {
+			return s.arenas[worker].counters.Snapshot()
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("httpaff: %w", err)
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Start launches the transport server and the Date-header refresher.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go s.dateLoop()
+	s.srv.Start()
+}
+
+// Shutdown drains gracefully: in-flight responses switch to
+// Connection: close, parked keep-alive connections are closed, queued
+// connections are served, and in-flight handlers finish. A ctx deadline
+// force-closes whatever is still queued (see serve.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.srv.Shutdown(ctx)
+	s.stopOnce.Do(func() { close(s.stopDate) })
+	return err
+}
+
+// Addr returns the bound address (useful with ":0"), or nil before a
+// successful bind.
+func (s *Server) Addr() net.Addr { return s.srv.Addr() }
+
+// Workers reports the configured worker count.
+func (s *Server) Workers() int { return s.srv.Workers() }
+
+// Sharded reports whether the transport runs one SO_REUSEPORT listener
+// per worker.
+func (s *Server) Sharded() bool { return s.srv.Sharded() }
+
+// FlowGroups reports the transport's (rounded-up) flow-group count.
+func (s *Server) FlowGroups() int { return s.srv.FlowGroups() }
+
+// OwnerOf reports which worker currently owns the flow group a remote
+// port hashes into.
+func (s *Server) OwnerOf(remotePort uint16) int { return s.srv.OwnerOf(remotePort) }
+
+// Stats snapshots the transport counters; with the arena hook wired,
+// Stats.Pool and each WorkerStats.Pool carry the per-worker
+// alloc/reuse/drop pool counters.
+func (s *Server) Stats() serve.Stats { return s.srv.Stats() }
+
+// dateLoop refreshes the cached Date header once a second until
+// Shutdown.
+func (s *Server) dateLoop() {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.refreshDate()
+		case <-s.stopDate:
+			return
+		}
+	}
+}
+
+func (s *Server) refreshDate() {
+	b := time.Now().UTC().AppendFormat(make([]byte, 0, 32), http.TimeFormat)
+	s.date.Store(&b)
+}
+
+func (s *Server) dateBytes() []byte { return *s.date.Load() }
+
+// conn carries the HTTP state that must survive Requeue passes — the
+// per-connection request count. It is allocated once per accepted
+// connection (the only steady-state allocation in the subsystem) and
+// amortizes across every keep-alive request the connection serves.
+type conn struct {
+	net.Conn
+	reqs int // requests served on this connection so far
+}
+
+// unwrap recovers the state wrapper from whatever the serve layer hands
+// the handler: the wrapper itself on the first pass, or the park
+// wrapper (which replays the wake-up byte and exposes NetConn) on every
+// later pass.
+func unwrap(nc net.Conn) *conn {
+	if c, ok := nc.(*conn); ok {
+		return c
+	}
+	if u, ok := nc.(interface{ NetConn() net.Conn }); ok {
+		if c, ok := u.NetConn().(*conn); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// serveConn is the serve.WorkerHandler: one handler pass over a
+// connection. It runs inline on the worker goroutine, which is what
+// makes lock-free worker-local arenas sound — the arena for worker i is
+// only ever touched from worker i's goroutine.
+func (s *Server) serveConn(worker int, nc net.Conn) {
+	c := unwrap(nc)
+	if c == nil {
+		// First pass on a fresh transport connection.
+		c = &conn{Conn: nc}
+		nc = c
+	}
+	a := s.arenas[worker]
+	ctx := a.acquire()
+	ctx.begin(nc, c, worker)
+	park := s.servePass(ctx)
+	ctx.end()
+	a.release(ctx)
+	if !park {
+		return
+	}
+	// Input drained: arm the idle deadline (or clear the request read
+	// deadline) and hand the connection back. The next request byte
+	// re-routes it through the flow table, so a migrated group's
+	// connection comes back on the new owning worker.
+	var dl time.Time
+	if s.cfg.IdleTimeout > 0 {
+		dl = time.Now().Add(s.cfg.IdleTimeout)
+	}
+	nc.SetReadDeadline(dl)
+	if !s.srv.Requeue(nc) {
+		nc.Close()
+	}
+}
+
+// flushEvery bounds how many pipelined response bytes accumulate before
+// a mid-pass write, so deep pipelines don't balloon the write buffer.
+const flushEvery = 32 << 10
+
+// servePass serves requests until the connection's buffered input is
+// drained (park: true), the protocol says stop, or an error closes the
+// connection (park: false). Responses to pipelined requests accumulate
+// and flush in one write.
+func (s *Server) servePass(ctx *RequestCtx) (park bool) {
+	c := ctx.state
+	for {
+		if err := ctx.readRequest(); err != nil {
+			var pe *protoError
+			if errors.As(err, &pe) {
+				ctx.writeError(pe)
+			} else {
+				ctx.flush() // whatever pipelined responses are pending
+			}
+			ctx.conn.Close()
+			return false
+		}
+		c.reqs++
+		ctx.resp.reset()
+		s.handler(ctx)
+		closing := ctx.resp.connClose || !ctx.req.keepAlive || s.draining.Load() ||
+			(s.cfg.MaxRequestsPerConn > 0 && c.reqs >= s.cfg.MaxRequestsPerConn)
+		ctx.appendResponse(closing)
+		if closing {
+			ctx.flush()
+			ctx.conn.Close()
+			return false
+		}
+		if ctx.buffered() == 0 {
+			if ctx.flush() != nil {
+				ctx.conn.Close()
+				return false
+			}
+			return true
+		}
+		// More pipelined input is already buffered: keep serving on
+		// this worker, flushing periodically.
+		if len(ctx.wbuf) >= flushEvery {
+			if ctx.flush() != nil {
+				ctx.conn.Close()
+				return false
+			}
+		}
+	}
+}

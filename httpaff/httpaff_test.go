@@ -1,0 +1,542 @@
+package httpaff
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"affinityaccept/internal/loadgen"
+)
+
+// echoPath writes the request path, or the body for requests that have
+// one — enough surface for every lifecycle test to assert on.
+func echoPath(ctx *RequestCtx) {
+	if len(ctx.Body()) > 0 {
+		ctx.Write(ctx.Body())
+		return
+	}
+	ctx.Write(ctx.Path())
+}
+
+// start builds and starts a server, registering a cleanup shutdown.
+func start(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Handler == nil {
+		cfg.Handler = echoPath
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// readResponse parses one response off the wire: status code, headers
+// (lowercased keys), body.
+func readResponse(t *testing.T, br *bufio.Reader) (int, map[string]string, []byte) {
+	t.Helper()
+	statusLine, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read status line: %v", err)
+	}
+	parts := strings.SplitN(strings.TrimSpace(statusLine), " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		t.Fatalf("bad status line %q", statusLine)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		t.Fatalf("bad status code in %q", statusLine)
+	}
+	headers := make(map[string]string)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read header: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			t.Fatalf("bad header line %q", line)
+		}
+		headers[strings.ToLower(k)] = strings.TrimSpace(v)
+	}
+	n, err := strconv.Atoi(headers["content-length"])
+	if err != nil {
+		t.Fatalf("missing Content-Length: %v", headers)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return code, headers, body
+}
+
+func dial(t *testing.T, s *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn)
+}
+
+// TestKeepAliveSequential is the basic lifecycle: several requests on
+// one connection, each round trip parking the connection in between, so
+// every request after the first exercises the Requeue path.
+func TestKeepAliveSequential(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	for i := 0; i < 5; i++ {
+		path := fmt.Sprintf("/req%d", i)
+		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", path); err != nil {
+			t.Fatal(err)
+		}
+		code, headers, body := readResponse(t, br)
+		if code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if string(body) != path {
+			t.Fatalf("request %d: body %q, want %q", i, body, path)
+		}
+		if headers["connection"] == "close" {
+			t.Fatalf("request %d: keep-alive connection advertised close", i)
+		}
+		if headers["server"] != "httpaff" {
+			t.Fatalf("request %d: Server header %q", i, headers["server"])
+		}
+		if headers["date"] == "" {
+			t.Fatalf("request %d: missing Date header", i)
+		}
+	}
+	st := s.Stats()
+	if st.Requeued < 4 {
+		t.Errorf("requeued = %d, want >= 4 (each inter-request gap parks)", st.Requeued)
+	}
+	if st.Served < 5 {
+		t.Errorf("served = %d, want >= 5 handler passes", st.Served)
+	}
+}
+
+// TestPipelined sends a burst of requests in one write; the server must
+// answer all of them, in order, without waiting for the client between
+// them.
+func TestPipelined(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	const n = 8
+	var batch bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&batch, "GET /p%d HTTP/1.1\r\nHost: t\r\n\r\n", i)
+	}
+	if _, err := conn.Write(batch.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		code, _, body := readResponse(t, br)
+		if code != 200 || string(body) != fmt.Sprintf("/p%d", i) {
+			t.Fatalf("pipelined response %d: code %d body %q", i, code, body)
+		}
+	}
+}
+
+// TestInterop proves the wire format against the standard library's
+// client, including transparent connection reuse.
+func TestInterop(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+	url := "http://" + s.Addr().String()
+	for i := 0; i < 6; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/std%d", url, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 || string(body) != fmt.Sprintf("/std%d", i) {
+			t.Fatalf("request %d: %d %q", i, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestPostBody round-trips a request body through Content-Length
+// framing.
+func TestPostBody(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	payload := strings.Repeat("abc", 100)
+	fmt.Fprintf(conn, "POST /upload HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(payload), payload)
+	code, _, body := readResponse(t, br)
+	if code != 200 || string(body) != payload {
+		t.Fatalf("POST echo: code %d, body len %d want %d", code, len(body), len(payload))
+	}
+}
+
+// TestRouterDispatch covers exact-path routing, query stripping, and
+// the 404 fallback.
+func TestRouterDispatch(t *testing.T) {
+	r := NewRouter()
+	r.Handle("/a", func(ctx *RequestCtx) { ctx.WriteString("A") })
+	r.Handle("/b", func(ctx *RequestCtx) {
+		ctx.SetContentType("application/json")
+		fmt.Fprintf(ctx, `{"q":%q}`, ctx.Query())
+	})
+	s := start(t, Config{Workers: 2, Handler: r.Serve})
+	conn, br := dial(t, s)
+
+	fmt.Fprint(conn, "GET /a HTTP/1.1\r\nHost: t\r\n\r\n")
+	code, _, body := readResponse(t, br)
+	if code != 200 || string(body) != "A" {
+		t.Fatalf("/a: %d %q", code, body)
+	}
+
+	fmt.Fprint(conn, "GET /b?x=1 HTTP/1.1\r\nHost: t\r\n\r\n")
+	code, headers, body := readResponse(t, br)
+	if code != 200 || string(body) != `{"q":"x=1"}` || headers["content-type"] != "application/json" {
+		t.Fatalf("/b: %d %q %q", code, body, headers["content-type"])
+	}
+
+	fmt.Fprint(conn, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+	code, _, _ = readResponse(t, br)
+	if code != 404 {
+		t.Fatalf("unrouted path: %d, want 404", code)
+	}
+}
+
+// TestHeadSuppressesBody: HEAD answers with the body's Content-Length
+// but no body bytes.
+func TestHeadSuppressesBody(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	fmt.Fprint(conn, "HEAD /h HTTP/1.1\r\nHost: t\r\n\r\nGET /h HTTP/1.1\r\nHost: t\r\n\r\n")
+	// First response: headers only. The immediately pipelined GET lets
+	// us verify no body bytes were interleaved.
+	statusLine, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(statusLine, "200") {
+		t.Fatalf("HEAD status: %q %v", statusLine, err)
+	}
+	var clen string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(line), "content-length:"); ok {
+			clen = strings.TrimSpace(v)
+		}
+	}
+	if clen != "2" {
+		t.Fatalf("HEAD Content-Length = %q, want 2 (len of /h)", clen)
+	}
+	code, _, body := readResponse(t, br)
+	if code != 200 || string(body) != "/h" {
+		t.Fatalf("GET after HEAD: %d %q — HEAD leaked body bytes", code, body)
+	}
+}
+
+// TestMaxRequestsPerConn: the limit's final response advertises close
+// and the server hangs up.
+func TestMaxRequestsPerConn(t *testing.T) {
+	s := start(t, Config{Workers: 2, MaxRequestsPerConn: 3})
+	conn, br := dial(t, s)
+	for i := 0; i < 3; i++ {
+		fmt.Fprint(conn, "GET /n HTTP/1.1\r\nHost: t\r\n\r\n")
+		code, headers, _ := readResponse(t, br)
+		if code != 200 {
+			t.Fatalf("request %d: %d", i, code)
+		}
+		wantClose := i == 2
+		if (headers["connection"] == "close") != wantClose {
+			t.Fatalf("request %d: Connection close = %v, want %v", i, !wantClose, wantClose)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection still open after max requests: %v", err)
+	}
+}
+
+// TestConnectionCloseRequest: a client's Connection: close is honored.
+func TestConnectionCloseRequest(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	fmt.Fprint(conn, "GET /c HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	code, headers, _ := readResponse(t, br)
+	if code != 200 || headers["connection"] != "close" {
+		t.Fatalf("%d, connection %q", code, headers["connection"])
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection still open: %v", err)
+	}
+}
+
+// TestHTTP10ClosesByDefault: an HTTP/1.0 request without keep-alive is
+// answered and closed.
+func TestHTTP10ClosesByDefault(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	fmt.Fprint(conn, "GET /old HTTP/1.0\r\n\r\n")
+	code, headers, body := readResponse(t, br)
+	if code != 200 || string(body) != "/old" || headers["connection"] != "close" {
+		t.Fatalf("%d %q %q", code, body, headers["connection"])
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("HTTP/1.0 connection still open: %v", err)
+	}
+}
+
+// TestIdleTimeout: a parked keep-alive connection is closed once idle
+// past the limit.
+func TestIdleTimeout(t *testing.T) {
+	s := start(t, Config{Workers: 2, IdleTimeout: 100 * time.Millisecond})
+	conn, br := dial(t, s)
+	fmt.Fprint(conn, "GET /i HTTP/1.1\r\nHost: t\r\n\r\n")
+	if code, _, _ := readResponse(t, br); code != 200 {
+		t.Fatal("first request failed")
+	}
+	start := time.Now()
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("idle connection: read = %v, want EOF", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("idle close took %v", waited)
+	}
+}
+
+// TestIdleTimeoutBoundsStalledRequest: with only IdleTimeout set, a
+// client that sends a partial request and goes silent is disconnected
+// rather than pinning its worker forever — the inline worker model
+// makes an unbounded mid-request read a denial of service.
+func TestIdleTimeoutBoundsStalledRequest(t *testing.T) {
+	s := start(t, Config{Workers: 2, IdleTimeout: 100 * time.Millisecond})
+	conn, br := dial(t, s)
+	if _, err := fmt.Fprint(conn, "GET /stalled HTTP"); err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("stalled request: read = %v, want EOF", err)
+	}
+	if waited := time.Since(begin); waited > 5*time.Second {
+		t.Fatalf("stalled-request close took %v", waited)
+	}
+	// The worker is free again: a well-behaved request still serves.
+	conn2, br2 := dial(t, s)
+	fmt.Fprint(conn2, "GET /ok HTTP/1.1\r\nHost: t\r\n\r\n")
+	if code, _, _ := readResponse(t, br2); code != 200 {
+		t.Fatal("server wedged after a stalled client")
+	}
+}
+
+// TestProtocolErrors maps malformed input to the right status, each on
+// a fresh connection since all of them are close-delimited.
+func TestProtocolErrors(t *testing.T) {
+	s := start(t, Config{Workers: 2, MaxHeaderBytes: 256})
+	cases := []struct {
+		name string
+		raw  string
+		want int
+	}{
+		{"malformed request line", "GARBAGE\r\n\r\n", 400},
+		{"bad version", "GET / HTTP/2.0\r\n\r\n", 505},
+		{"chunked not implemented", "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+		{"bad content length", "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400},
+		{"headers too large", "GET / HTTP/1.1\r\nX-Big: " + strings.Repeat("x", 512) + "\r\n\r\n", 431},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, br := dial(t, s)
+			if _, err := conn.Write([]byte(tc.raw)); err != nil {
+				t.Fatal(err)
+			}
+			code, headers, _ := readResponse(t, br)
+			if code != tc.want {
+				t.Fatalf("status %d, want %d", code, tc.want)
+			}
+			if headers["connection"] != "close" {
+				t.Fatalf("error response must close, got %q", headers["connection"])
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				t.Fatalf("connection open after protocol error: %v", err)
+			}
+		})
+	}
+}
+
+// TestGracefulDrain: Shutdown closes parked keep-alive connections (the
+// client sees EOF, not a hang) and completes in bounded time.
+func TestGracefulDrain(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+	fmt.Fprint(conn, "GET /d HTTP/1.1\r\nHost: t\r\n\r\n")
+	if code, _, _ := readResponse(t, br); code != 200 {
+		t.Fatal("request failed")
+	}
+	// Wait for the park.
+	for deadline := time.Now().Add(5 * time.Second); s.Stats().Requeued == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("parked connection after shutdown: %v", err)
+	}
+}
+
+// TestWorkerLocalPoolReuse is the tentpole's proof obligation in unit
+// form: after warmup, virtually every handler pass acquires its context
+// from the serving worker's own free list.
+func TestWorkerLocalPoolReuse(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	const conns, reqs = 4, 25
+	for c := 0; c < conns; c++ {
+		conn, br := dial(t, s)
+		for i := 0; i < reqs; i++ {
+			fmt.Fprint(conn, "GET /w HTTP/1.1\r\nHost: t\r\n\r\n")
+			if code, _, _ := readResponse(t, br); code != 200 {
+				t.Fatalf("conn %d req %d failed", c, i)
+			}
+		}
+		conn.Close()
+	}
+	st := s.Stats()
+	if st.Pool.Gets() < conns*reqs {
+		t.Fatalf("pool gets = %d, want >= %d (one per handler pass)", st.Pool.Gets(), conns*reqs)
+	}
+	if pct := st.Pool.ReusePct(); pct < 90 {
+		t.Fatalf("pool reuse = %.1f%%, want >= 90%% (misses: %d)", pct, st.Pool.Misses)
+	}
+	// The per-worker split must add up to the aggregate.
+	var sum uint64
+	for _, w := range st.Workers {
+		sum += w.Pool.Gets()
+	}
+	if sum != st.Pool.Gets() {
+		t.Fatalf("per-worker pool gets sum %d != aggregate %d", sum, st.Pool.Gets())
+	}
+}
+
+// TestMigrationComposesWithKeepAlive runs the paper's §3.3.2 skewed
+// workload through the HTTP layer: long-lived keep-alive connections
+// all hashing into worker 0's flow groups, with per-request service
+// time so one worker cannot keep up. Migration must engage (nonzero
+// migrations), and — the httpaff-specific claim — pool reuse stays warm
+// even though connections are switching workers, because each pass uses
+// the serving worker's own arena.
+func TestMigrationComposesWithKeepAlive(t *testing.T) {
+	const (
+		workers = 4
+		groups  = 16
+		conns   = 24
+		window  = 400 * time.Millisecond
+	)
+	s := start(t, Config{
+		Workers:         workers,
+		FlowGroups:      groups,
+		MigrateInterval: 2 * time.Millisecond,
+		Backlog:         workers * 64,
+		HighPct:         20,
+		LowPct:          5,
+		Handler: func(ctx *RequestCtx) {
+			time.Sleep(200 * time.Microsecond)
+			ctx.Write(ctx.Path())
+		},
+	})
+
+	base := loadgen.PortBase(groups)
+	var hot []int
+	for g := 0; g < s.FlowGroups(); g++ {
+		if s.OwnerOf(uint16(base+g)) == 0 {
+			hot = append(hot, g)
+		}
+	}
+	if len(hot) == 0 {
+		t.Fatal("worker 0 owns no groups")
+	}
+
+	stop := time.Now().Add(window)
+	done := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		conn, err := loadgen.DialGroup(s.Addr().String(), hot[i%len(hot)], groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			br := bufio.NewReader(conn)
+			for time.Now().Before(stop) {
+				if _, err := fmt.Fprint(conn, "GET /m HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+					done <- err
+					return
+				}
+				if _, err := br.ReadString('\n'); err != nil {
+					done <- err
+					return
+				}
+				// Drain the rest of the response.
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						done <- err
+						return
+					}
+					if strings.TrimSpace(line) == "" {
+						break
+					}
+				}
+				if _, err := io.ReadFull(br, make([]byte, 2)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(conn)
+	}
+	for i := 0; i < conns; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Migrations == 0 {
+		t.Error("no flow-group migrations under the skewed keep-alive HTTP workload")
+	}
+	if st.Requeued == 0 {
+		t.Error("no requeues — the keep-alive path never parked")
+	}
+	if pct := st.Pool.ReusePct(); pct < 90 {
+		t.Errorf("pool reuse %.1f%% with migration on, want >= 90%%", pct)
+	}
+}

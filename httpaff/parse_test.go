@@ -1,0 +1,180 @@
+package httpaff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// newTestCtx builds a context wired to a minimal server, no transport.
+func newTestCtx() *RequestCtx {
+	s := &Server{name: []byte("httpaff")}
+	s.cfg.MaxHeaderBytes = 8192
+	s.cfg.MaxBodyBytes = 1 << 20
+	s.refreshDate()
+	return &RequestCtx{srv: s, rbuf: make([]byte, 4096), wbuf: make([]byte, 0, 4096)}
+}
+
+// load primes the read buffer as if the bytes had arrived from the
+// network, then parses the head directly.
+func parseRaw(ctx *RequestCtx, raw string) error {
+	copy(ctx.rbuf, raw)
+	ctx.rlen = len(raw)
+	ctx.rpos = 0
+	end := bytes.Index(ctx.rbuf[:ctx.rlen], crlfCRLF)
+	if end < 0 {
+		panic("test request has no header terminator")
+	}
+	return ctx.parseHead(ctx.rbuf[:end+2])
+}
+
+func TestParseRequestLine(t *testing.T) {
+	ctx := newTestCtx()
+	if err := parseRaw(ctx, "GET /x/y?a=1&b=2 HTTP/1.1\r\nHost: h\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ctx.Method()); got != "GET" {
+		t.Errorf("method %q", got)
+	}
+	if got := string(ctx.Path()); got != "/x/y" {
+		t.Errorf("path %q", got)
+	}
+	if got := string(ctx.Query()); got != "a=1&b=2" {
+		t.Errorf("query %q", got)
+	}
+	if got := string(ctx.URI()); got != "/x/y?a=1&b=2" {
+		t.Errorf("uri %q", got)
+	}
+	if got := string(ctx.Protocol()); got != "HTTP/1.1" {
+		t.Errorf("proto %q", got)
+	}
+	if !ctx.req.keepAlive {
+		t.Error("HTTP/1.1 should default to keep-alive")
+	}
+}
+
+func TestParseHeaders(t *testing.T) {
+	ctx := newTestCtx()
+	raw := "POST /u HTTP/1.1\r\n" +
+		"Host: example.test\r\n" +
+		"Content-Length:  42\r\n" +
+		"X-Custom:\tspaced value \r\n" +
+		"CONNECTION: Keep-Alive\r\n\r\n"
+	if err := parseRaw(ctx, raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ctx.Header("host")); got != "example.test" {
+		t.Errorf("host %q", got)
+	}
+	if got := string(ctx.Header("x-custom")); got != "spaced value" {
+		t.Errorf("x-custom %q", got)
+	}
+	if ctx.req.contentLength != 42 {
+		t.Errorf("content-length %d", ctx.req.contentLength)
+	}
+	if !ctx.req.keepAlive {
+		t.Error("explicit Keep-Alive ignored")
+	}
+	if got := ctx.Header("absent"); got != nil {
+		t.Errorf("absent header = %q, want nil", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want *protoError
+	}{
+		{"no spaces", "GARBAGE\r\n\r\n", errBadRequest},
+		{"one space", "GET /\r\n\r\n", errBadRequest},
+		{"empty uri", "GET  HTTP/1.1\r\n\r\n", errBadRequest},
+		{"bad version", "GET / SPDY/3\r\n\r\n", errBadVersion},
+		{"header without colon", "GET / HTTP/1.1\r\nbroken\r\n\r\n", errBadRequest},
+		{"bad content length", "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", errBadRequest},
+		{"huge content length", "GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n", errBadRequest},
+		{"chunked", "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", errChunked},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := newTestCtx()
+			if err := parseRaw(ctx, tc.raw); err != tc.want {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHTTP10KeepAliveOptIn(t *testing.T) {
+	ctx := newTestCtx()
+	if err := parseRaw(ctx, "GET / HTTP/1.0\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.req.keepAlive {
+		t.Error("HTTP/1.0 should default to close")
+	}
+	if err := parseRaw(ctx, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.req.keepAlive {
+		t.Error("HTTP/1.0 with Connection: keep-alive should keep alive")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !equalFold([]byte("Content-LENGTH"), "content-length") {
+		t.Error("equalFold should fold ASCII case")
+	}
+	if equalFold([]byte("abc"), "abd") || equalFold([]byte("ab"), "abc") {
+		t.Error("equalFold false positives")
+	}
+	if got := string(trimOWS([]byte("\t  x y \t"))); got != "x y" {
+		t.Errorf("trimOWS = %q", got)
+	}
+	if n, ok := parseUint([]byte("1234")); !ok || n != 1234 {
+		t.Errorf("parseUint(1234) = %d, %v", n, ok)
+	}
+	for _, bad := range []string{"", "12a", "-1", "99999999999999999999"} {
+		if _, ok := parseUint([]byte(bad)); ok {
+			t.Errorf("parseUint(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseZeroAlloc pins the zero-copy claim: once the header slice
+// capacity is warm, parsing a request performs no allocations at all.
+func TestParseZeroAlloc(t *testing.T) {
+	ctx := newTestCtx()
+	raw := "GET /hot/path?q=1 HTTP/1.1\r\nHost: bench.test\r\nUser-Agent: alloc-test\r\nAccept: */*\r\n\r\n"
+	if err := parseRaw(ctx, raw); err != nil { // warm the header slice
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := parseRaw(ctx, raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("parse allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// TestSerializeZeroAlloc pins the response side: serializing a response
+// into a warm write buffer performs no allocations.
+func TestSerializeZeroAlloc(t *testing.T) {
+	ctx := newTestCtx()
+	if err := parseRaw(ctx, "GET / HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("hello, core-local world")
+	render := func() {
+		ctx.resp.reset()
+		ctx.SetHeader("X-Trace", "abc123")
+		ctx.Write(body)
+		ctx.appendResponse(false)
+		ctx.wbuf = ctx.wbuf[:0]
+	}
+	render() // warm wbuf, body and extra capacities
+	if allocs := testing.AllocsPerRun(200, render); allocs != 0 {
+		t.Fatalf("serialize allocates %.1f objects per response, want 0", allocs)
+	}
+}

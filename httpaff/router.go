@@ -1,0 +1,40 @@
+package httpaff
+
+import "net/http"
+
+// Router dispatches requests by exact path match. Lookup is a single
+// map index keyed by the request path — Go's map[string] index with a
+// []byte conversion does not allocate, so routing stays on the
+// zero-allocation path.
+type Router struct {
+	routes   map[string]HandlerFunc
+	notFound HandlerFunc
+}
+
+// NewRouter returns an empty router whose fallback answers 404.
+func NewRouter() *Router {
+	return &Router{
+		routes: make(map[string]HandlerFunc),
+		notFound: func(ctx *RequestCtx) {
+			ctx.SetStatus(http.StatusNotFound)
+		},
+	}
+}
+
+// Handle registers the handler for an exact path. Registration is
+// setup-time only: it must not race Serve.
+func (r *Router) Handle(path string, h HandlerFunc) {
+	r.routes[path] = h
+}
+
+// NotFound replaces the fallback handler.
+func (r *Router) NotFound(h HandlerFunc) { r.notFound = h }
+
+// Serve dispatches one request; use it as Config.Handler.
+func (r *Router) Serve(ctx *RequestCtx) {
+	if h, ok := r.routes[string(ctx.Path())]; ok {
+		h(ctx)
+		return
+	}
+	r.notFound(ctx)
+}

@@ -16,6 +16,13 @@ type parkedConn struct {
 	has  bool
 }
 
+// NetConn returns the connection the park wrapper wraps, mirroring
+// (*tls.Conn).NetConn. Application layers stacked above Requeue (the
+// httpaff server) wrap connections in their own state-carrying type and
+// use NetConn to recover it on the passes after the first, when the
+// handler receives the park wrapper instead of the original value.
+func (p *parkedConn) NetConn() net.Conn { return p.Conn }
+
 func (p *parkedConn) Read(b []byte) (int, error) {
 	if p.has {
 		if len(b) == 0 {

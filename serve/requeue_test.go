@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAddrWithoutListeners guards the nil path: a Server that never
+// bound (zero value, or a construction that failed before listen)
+// reports a nil address instead of panicking.
+func TestAddrWithoutListeners(t *testing.T) {
+	var s Server
+	if addr := s.Addr(); addr != nil {
+		t.Fatalf("Addr on an unbound server = %v, want nil", addr)
+	}
+}
+
+// TestRequeueConcurrentWithShutdown races live keep-alive traffic —
+// handlers calling Requeue, park goroutines pushing woken connections —
+// against Shutdown. The existing coverage only shuts down after the
+// traffic has settled into a parked state; here clients keep writing
+// while Shutdown runs, so Requeue and park hit every phase of the
+// closeAll / wait / drain sequence. The invariants: Shutdown returns
+// within its deadline without force-closing, and every client observes
+// a clean close rather than a hang.
+func TestRequeueConcurrentWithShutdown(t *testing.T) {
+	const (
+		workers = 4
+		conns   = 16
+		msgLen  = 4
+	)
+	var srv *Server
+	s, err := New(Config{
+		Workers: workers,
+		Handler: func(conn net.Conn) {
+			buf := make([]byte, msgLen)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				conn.Close()
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+				return
+			}
+			if !srv.Requeue(conn) {
+				conn.Close()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = s
+	s.Start()
+
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			msg := make([]byte, msgLen)
+			// Write until the server's shutdown closes the connection
+			// under us — parked connections read EOF, in-flight ones
+			// are refused at Requeue and closed.
+			for {
+				if _, err := conn.Write(msg); err != nil {
+					return
+				}
+				if _, err := io.ReadFull(conn, msg); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+
+	// Let traffic flow so parks and requeues are genuinely in flight,
+	// then shut down while the clients are still writing.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Requeued < conns {
+		if time.Now().After(deadline) {
+			t.Fatal("requeue traffic never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with live requeue traffic: %v", err)
+	}
+	wg.Wait()
+
+	// After shutdown, Requeue must refuse and leave ownership with the
+	// caller.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if s.Requeue(c1) {
+		t.Error("Requeue accepted a connection after shutdown")
+	}
+}
+
+// TestParkSetCloseAllRacesRemove drives the parkSet's add / remove /
+// closeAll paths from many goroutines at once — the exact interleaving
+// Shutdown produces when park reads complete while closeAll walks the
+// map. Under -race this proves the locking; in any mode it proves the
+// contract: add never succeeds after closeAll, and wait returns only
+// after every successful add was matched by done.
+func TestParkSetCloseAllRacesRemove(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		ps := newParkSet()
+		const parkers = 8
+		var added, finished atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < parkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 20; j++ {
+					c1, c2 := net.Pipe()
+					p := &parkedConn{Conn: c1}
+					if !ps.add(p) {
+						c1.Close()
+						c2.Close()
+						return // closed: caller keeps ownership
+					}
+					added.Add(1)
+					// Simulate the park read completing (remove) or the
+					// connection dying while parked (closeAll already
+					// closed it) — both end with done.
+					ps.remove(p)
+					finished.Add(1)
+					ps.done()
+					c1.Close()
+					c2.Close()
+				}
+			}()
+		}
+		// Race closeAll into the middle of the adds.
+		ps.closeAll()
+		ps.wait()
+		if got, want := finished.Load(), added.Load(); got < want {
+			// wait returned while an accepted parker had not finished:
+			// the Shutdown ordering guarantee would be broken.
+			t.Fatalf("round %d: wait returned with %d of %d parks unfinished", round, want-got, want)
+		}
+		wg.Wait()
+		if ps.add(&parkedConn{}) {
+			t.Fatal("add succeeded after closeAll")
+		}
+	}
+}

@@ -96,6 +96,13 @@ type Config struct {
 	// stealing as the only balancing mechanism (the paper's §3.3.1-only
 	// configuration; useful for A/B comparison).
 	DisableMigration bool
+
+	// WorkerPool, if set, is called by Stats with each worker index and
+	// reports that worker's application-layer object-pool counters. The
+	// httpaff layer wires its worker-local arenas through this, so the
+	// same snapshot that proves connections stay local (ServedLocal)
+	// also proves the memory behind them does (pool reuse rate).
+	WorkerPool func(worker int) PoolStats
 }
 
 func (c *Config) fill() error {
@@ -235,8 +242,15 @@ func (s *Server) listen() error {
 	return nil
 }
 
-// Addr returns the bound address (useful with ":0").
-func (s *Server) Addr() net.Addr { return s.listeners[0].Addr() }
+// Addr returns the bound address (useful with ":0"), or nil on a
+// server that has no listeners — a zero-value Server, or one whose
+// construction failed partway.
+func (s *Server) Addr() net.Addr {
+	if len(s.listeners) == 0 {
+		return nil
+	}
+	return s.listeners[0].Addr()
+}
 
 // Sharded reports whether the server runs one SO_REUSEPORT listener
 // per worker (true) or the single-shared-listener fallback (false).
@@ -474,6 +488,10 @@ func (s *Server) Stats() Stats {
 			Busy:         s.bal.Busy(i),
 			GroupsOwned:  groups[i],
 			MigratedIn:   w.migratedIn.Load(),
+		}
+		if s.cfg.WorkerPool != nil {
+			st.Workers[i].Pool = s.cfg.WorkerPool(i)
+			st.Pool = st.Pool.Add(st.Workers[i].Pool)
 		}
 		st.Accepted += st.Workers[i].Accepted
 		st.Queued += st.Workers[i].QueueDepth

@@ -3,7 +3,16 @@ package serve
 import (
 	"fmt"
 	"strings"
+
+	"affinityaccept/internal/stats"
 )
+
+// PoolStats counts one worker-local object pool's traffic, as reported
+// by the Config.WorkerPool hook: Reuses were served from the worker's
+// free list (the warm, core-local path), Misses had to allocate, Drops
+// were discarded on release because the free list was full. It carries
+// Gets, ReusePct and Add from the stats layer's snapshot type.
+type PoolStats = stats.PoolSnapshot
 
 // WorkerStats is one worker's view of the balancer, mirroring the
 // per-core counters the paper's kernel implementation exports.
@@ -26,6 +35,9 @@ type WorkerStats struct {
 	// worker; MigratedIn counts groups it claimed via §3.3.2 migration.
 	GroupsOwned int
 	MigratedIn  uint64
+	// Pool is this worker's application object-pool traffic (zero
+	// unless Config.WorkerPool is set).
+	Pool PoolStats
 }
 
 // Stats is an aggregate snapshot of a Server, shaped like the
@@ -47,6 +59,9 @@ type Stats struct {
 	// applied §3.3.2 flow-group migrations.
 	Requeued   uint64
 	Migrations uint64
+	// Pool aggregates the per-worker object-pool counters (zero unless
+	// Config.WorkerPool is set).
+	Pool PoolStats
 	// Queued and Active are instantaneous totals across workers.
 	Queued  int
 	Active  int64
@@ -83,16 +98,29 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "mode: %s, %d flow groups\n", mode, s.FlowGroups)
 	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  requeued %d  migrations %d  queued %d  active %d\n",
 		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Requeued, s.Migrations, s.Queued, s.Active)
-	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %7s %8s %5s\n",
+	pools := s.Pool.Gets() > 0
+	if pools {
+		fmt.Fprintf(&b, "pools: %d gets, %.1f%% reused from the worker-local free list (%d misses, %d drops)\n",
+			s.Pool.Gets(), s.Pool.ReusePct(), s.Pool.Misses, s.Pool.Drops)
+	}
+	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %7s %8s %5s",
 		"worker", "accepted", "local", "stolen", "active", "qdepth", "groups", "migr-in", "busy")
+	if pools {
+		fmt.Fprintf(&b, " %9s %7s", "pool-get", "reuse%")
+	}
+	b.WriteByte('\n')
 	for _, w := range s.Workers {
 		busy := ""
 		if w.Busy {
 			busy = "*"
 		}
-		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %7d %8d %5s\n",
+		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %7d %8d %5s",
 			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth,
 			w.GroupsOwned, w.MigratedIn, busy)
+		if pools {
+			fmt.Fprintf(&b, " %9d %7.1f", w.Pool.Gets(), w.Pool.ReusePct())
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
