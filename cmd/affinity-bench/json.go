@@ -42,6 +42,12 @@ type benchReport struct {
 	PoolMisses   uint64  `json:"poolMisses,omitempty"`
 	PoolReusePct float64 `json:"poolReusePct,omitempty"`
 
+	// proxyaff upstream connection-pool counters (proxy scenarios only).
+	Backends         int     `json:"backends,omitempty"`
+	UpstreamGets     uint64  `json:"upstreamGets,omitempty"`
+	UpstreamMisses   uint64  `json:"upstreamMisses,omitempty"`
+	UpstreamReusePct float64 `json:"upstreamReusePct,omitempty"`
+
 	// Environment metadata.
 	GoVersion  string `json:"goVersion"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

@@ -18,6 +18,10 @@
 //	affinity-bench -http                   # httpaff: pipelined keep-alive HTTP/1.1
 //	affinity-bench -http -pipeline 32 -clients 16        # deeper pipelines
 //	affinity-bench -http -migrate=false                  # without §3.3.2 migration
+//
+//	affinity-bench -proxy                  # proxyaff edge: client → proxy → backends
+//	affinity-bench -proxy -backends 4 -pinned=false      # round-robin over 4 backends
+//	affinity-bench -proxy -migrate=false                 # edge without §3.3.2 migration
 package main
 
 import (
@@ -48,7 +52,11 @@ func main() {
 		noShard   = flag.Bool("noshard", false, "force the shared-listener fallback instead of SO_REUSEPORT")
 
 		httpMode = flag.Bool("http", false, "benchmark the httpaff HTTP/1.1 layer with pipelined keep-alive clients")
-		pipeline = flag.Int("pipeline", 16, "requests per pipelined batch in -http mode")
+		pipeline = flag.Int("pipeline", 16, "requests per pipelined batch in -http/-proxy mode")
+
+		proxyMode = flag.Bool("proxy", false, "benchmark the proxyaff edge: clients → reverse proxy → in-process backends")
+		nBackends = flag.Int("backends", 2, "in-process backend servers in -proxy mode")
+		pinned    = flag.Bool("pinned", true, "worker-pinned backend selection in -proxy mode (false = round-robin)")
 
 		longlived    = flag.Int("longlived", 0, "drive N long-lived keep-alive connections skewed onto worker 0's flow groups (demonstrates §3.3.2 migration)")
 		work         = flag.Duration("work", 200*time.Microsecond, "per-request handler service time in -longlived mode")
@@ -58,6 +66,31 @@ func main() {
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 	)
 	flag.Parse()
+
+	if *proxyMode {
+		err := runProxyBench(proxyOpts{
+			httpOpts: httpOpts{
+				addr:         *addr,
+				workers:      *workers,
+				clients:      *clients,
+				pipeline:     *pipeline,
+				payload:      *payload,
+				duration:     *duration,
+				noShard:      *noShard,
+				migrate:      *migrate,
+				migrateEvery: *migrateEvery,
+				groups:       *groups,
+				jsonPath:     *jsonPath,
+			},
+			backends: *nBackends,
+			pinned:   *pinned,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *httpMode {
 		err := runHTTPBench(httpOpts{

@@ -33,13 +33,16 @@ func (r *request) reset() {
 }
 
 // response accumulates what the handler sets; serialization happens
-// once, after the handler returns.
+// once, after the handler returns — unless the handler switched to raw
+// mode (BeginRawResponse), in which case it has already appended a
+// complete serialized response and the server adds nothing.
 type response struct {
 	status      int
 	contentType string
 	extra       []byte // raw "Key: Value\r\n" lines from SetHeader
 	body        []byte
 	connClose   bool
+	raw         bool // handler wrote pre-serialized bytes via RawWrite
 }
 
 func (r *response) reset() {
@@ -48,6 +51,7 @@ func (r *response) reset() {
 	r.extra = r.extra[:0]
 	r.body = r.body[:0]
 	r.connClose = false
+	r.raw = false
 }
 
 // RequestCtx carries one request/response exchange. Contexts are pooled
@@ -129,8 +133,24 @@ func (ctx *RequestCtx) Header(name string) []byte {
 
 // Worker reports which worker is serving this pass — with migration
 // enabled, successive requests on one connection may report different
-// workers exactly once per flow-group migration.
+// workers exactly once per flow-group migration. Layers that keep
+// per-worker state of their own (the proxyaff upstream pools) index it
+// by this value, which is what makes their lock-free single-owner
+// structures sound: the handler runs inline on the worker goroutine.
 func (ctx *RequestCtx) Worker() int { return ctx.worker }
+
+// HeaderCount reports how many request headers were parsed; with
+// HeaderAt it lets a handler walk every header without allocating a
+// visitor closure.
+func (ctx *RequestCtx) HeaderCount() int { return len(ctx.req.headers) }
+
+// HeaderAt returns the i'th request header's key and value in arrival
+// order. Both slices alias the read buffer: valid only during the
+// handler call. i must be in [0, HeaderCount()).
+func (ctx *RequestCtx) HeaderAt(i int) (key, value []byte) {
+	h := &ctx.req.headers[i]
+	return h.key, h.val
+}
 
 // RequestNum reports how many requests this connection has served,
 // including the current one.
@@ -174,6 +194,70 @@ func (ctx *RequestCtx) WriteString(s string) (int, error) {
 // SetConnectionClose makes this response the connection's last.
 func (ctx *RequestCtx) SetConnectionClose() { ctx.resp.connClose = true }
 
+// WillClose reports whether the server will close the connection after
+// the current response regardless of anything else the handler does:
+// the client asked for close, the server is draining, the connection
+// hit MaxRequestsPerConn, or the handler already called
+// SetConnectionClose. Raw-mode handlers (reverse proxies) consult this
+// to emit a matching Connection header in the bytes they serialize
+// themselves.
+func (ctx *RequestCtx) WillClose() bool {
+	s := ctx.srv
+	return ctx.resp.connClose || !ctx.req.keepAlive || s.draining.Load() ||
+		(s.cfg.MaxRequestsPerConn > 0 && ctx.state.reqs >= s.cfg.MaxRequestsPerConn)
+}
+
+// ---- raw responses ----
+//
+// A raw-mode handler bypasses the server's serializer: it appends a
+// complete, correctly framed HTTP/1.1 response (status line, headers,
+// CRLF, body) straight onto the connection's write buffer. This is the
+// hook the proxyaff layer relays upstream responses through — the bytes
+// read from a backend go into the downstream buffer with one copy and
+// no intermediate objects. The handler owns the framing: the response
+// must carry Content-Length (or a Connection: close header matching
+// WillClose/SetConnectionClose for a close-delimited body), because the
+// server appends nothing after the handler returns.
+
+// BeginRawResponse switches the current exchange to raw mode. After the
+// call the server will not serialize the ctx's status/header/body state;
+// everything sent for this request must go through RawWrite, RawBuffer
+// or RawFlush.
+func (ctx *RequestCtx) BeginRawResponse() { ctx.resp.raw = true }
+
+// RawWrite appends pre-serialized response bytes to the write buffer.
+func (ctx *RequestCtx) RawWrite(p []byte) { ctx.wbuf = append(ctx.wbuf, p...) }
+
+// RawWriteString appends pre-serialized response bytes to the write
+// buffer.
+func (ctx *RequestCtx) RawWriteString(s string) { ctx.wbuf = append(ctx.wbuf, s...) }
+
+// RawBuffer returns the write buffer's free capacity, grown to at least
+// n bytes, so body bytes can be read from another connection directly
+// into the response buffer. After filling m <= len bytes, commit them
+// with RawAdvance(m).
+func (ctx *RequestCtx) RawBuffer(n int) []byte {
+	if free := cap(ctx.wbuf) - len(ctx.wbuf); free < n {
+		nb := make([]byte, len(ctx.wbuf), 2*cap(ctx.wbuf)+n)
+		copy(nb, ctx.wbuf)
+		ctx.wbuf = nb
+	}
+	return ctx.wbuf[len(ctx.wbuf):cap(ctx.wbuf)]
+}
+
+// RawAdvance commits n bytes previously filled into RawBuffer's slice.
+func (ctx *RequestCtx) RawAdvance(n int) { ctx.wbuf = ctx.wbuf[:len(ctx.wbuf)+n] }
+
+// RawBuffered reports how many response bytes are accumulated and not
+// yet flushed (including responses to earlier pipelined requests).
+func (ctx *RequestCtx) RawBuffered() int { return len(ctx.wbuf) }
+
+// RawFlush writes the accumulated response bytes now — a raw-mode
+// handler streaming a large body calls this periodically so the buffer
+// stays bounded. Outside raw mode the server flushes on its own
+// schedule and handlers should not call this.
+func (ctx *RequestCtx) RawFlush() error { return ctx.flush() }
+
 // ---- serialization ----
 
 var (
@@ -203,8 +287,12 @@ func appendStatusLine(b []byte, code int) []byte {
 
 // appendResponse serializes the handler's response onto the write
 // buffer. HEAD responses carry the Content-Length of the body they
-// suppress, per RFC 9110.
+// suppress, per RFC 9110. Raw-mode responses are already serialized in
+// the write buffer and get nothing appended.
 func (ctx *RequestCtx) appendResponse(closing bool) {
+	if ctx.resp.raw {
+		return
+	}
 	b := ctx.wbuf
 	b = appendStatusLine(b, ctx.resp.status)
 	b = append(b, serverColon...)

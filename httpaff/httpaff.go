@@ -93,6 +93,12 @@ type Config struct {
 	// 32); contexts released beyond the cap are dropped to the GC.
 	MaxPooledPerWorker int
 
+	// WorkerUpstream, if set, reports each worker's upstream
+	// connection-pool counters and is passed through to
+	// serve.Config.WorkerUpstream, so Stats carries them. The proxyaff
+	// layer wires its per-worker backend pools here.
+	WorkerUpstream func(worker int) serve.PoolStats
+
 	// The remaining fields pass straight through to serve.Config:
 	// queueing, stealing and migration behave exactly as for a raw TCP
 	// server.
@@ -190,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		WorkerPool: func(worker int) serve.PoolStats {
 			return s.arenas[worker].counters.Snapshot()
 		},
+		WorkerUpstream: cfg.WorkerUpstream,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("httpaff: %w", err)
@@ -238,8 +245,14 @@ func (s *Server) OwnerOf(remotePort uint16) int { return s.srv.OwnerOf(remotePor
 
 // Stats snapshots the transport counters; with the arena hook wired,
 // Stats.Pool and each WorkerStats.Pool carry the per-worker
-// alloc/reuse/drop pool counters.
+// alloc/reuse/drop pool counters, and with Config.WorkerUpstream set,
+// Stats.Upstream carries the upstream connection-pool counters.
 func (s *Server) Stats() serve.Stats { return s.srv.Stats() }
+
+// Transport exposes the underlying serve.Server — for StatsHandler and
+// other diagnostics that want the transport object itself rather than a
+// snapshot.
+func (s *Server) Transport() *serve.Server { return s.srv }
 
 // dateLoop refreshes the cached Date header once a second until
 // Shutdown.
@@ -346,8 +359,7 @@ func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 		c.reqs++
 		ctx.resp.reset()
 		s.handler(ctx)
-		closing := ctx.resp.connClose || !ctx.req.keepAlive || s.draining.Load() ||
-			(s.cfg.MaxRequestsPerConn > 0 && c.reqs >= s.cfg.MaxRequestsPerConn)
+		closing := ctx.WillClose()
 		ctx.appendResponse(closing)
 		if closing {
 			ctx.flush()

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -225,6 +226,152 @@ func TestRouterDispatch(t *testing.T) {
 	}
 }
 
+// TestRouterMethods covers method-aware registration: per-method
+// dispatch, the Handle fallback for unregistered methods, and the 405 +
+// Allow response when a path has only method handlers.
+func TestRouterMethods(t *testing.T) {
+	r := NewRouter()
+	r.HandleMethod("GET", "/item", func(ctx *RequestCtx) { ctx.WriteString("got") })
+	r.HandleMethod("POST", "/item", func(ctx *RequestCtx) { ctx.WriteString("posted") })
+	r.HandleMethod("DELETE", "/strict", func(ctx *RequestCtx) { ctx.WriteString("gone") })
+	r.HandleMethod("GET", "/mixed", func(ctx *RequestCtx) { ctx.WriteString("mixed-get") })
+	r.Handle("/mixed", func(ctx *RequestCtx) { ctx.WriteString("mixed-any") })
+	s := start(t, Config{Workers: 2, Handler: r.Serve})
+	conn, br := dial(t, s)
+
+	cases := []struct {
+		method, path string
+		wantCode     int
+		wantBody     string
+		wantAllow    string
+	}{
+		{"GET", "/item", 200, "got", ""},
+		{"POST", "/item", 200, "posted", ""},
+		{"PUT", "/item", 405, "", "GET, POST"},
+		{"GET", "/strict", 405, "", "DELETE"},
+		{"DELETE", "/strict", 200, "gone", ""},
+		{"GET", "/mixed", 200, "mixed-get", ""},
+		{"PATCH", "/mixed", 200, "mixed-any", ""}, // Handle catches the rest
+		{"GET", "/absent", 404, "", ""},
+	}
+	for _, tc := range cases {
+		fmt.Fprintf(conn, "%s %s HTTP/1.1\r\nHost: t\r\n\r\n", tc.method, tc.path)
+		code, headers, body := readResponse(t, br)
+		if code != tc.wantCode {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, code, tc.wantCode)
+		}
+		if tc.wantBody != "" && string(body) != tc.wantBody {
+			t.Fatalf("%s %s: body %q, want %q", tc.method, tc.path, body, tc.wantBody)
+		}
+		if headers["allow"] != tc.wantAllow {
+			t.Fatalf("%s %s: Allow %q, want %q", tc.method, tc.path, headers["allow"], tc.wantAllow)
+		}
+	}
+}
+
+// TestRouterMethodHeadFallback: a GET registration serves HEAD with the
+// body suppressed; an explicit HEAD handler still wins.
+func TestRouterMethodHeadFallback(t *testing.T) {
+	r := NewRouter()
+	r.HandleMethod("GET", "/item", func(ctx *RequestCtx) { ctx.WriteString("got") })
+	r.HandleMethod("GET", "/own", func(ctx *RequestCtx) { ctx.WriteString("get-handler") })
+	r.HandleMethod("HEAD", "/own", func(ctx *RequestCtx) { ctx.SetHeader("X-Head", "1") })
+	s := start(t, Config{Workers: 2, Handler: r.Serve})
+	conn, br := dial(t, s)
+
+	// HEAD falls back to GET: 200, Content-Length of the suppressed
+	// body, no body bytes (the pipelined GET behind it proves that).
+	fmt.Fprint(conn, "HEAD /item HTTP/1.1\r\nHost: t\r\n\r\nGET /item HTTP/1.1\r\nHost: t\r\n\r\n")
+	statusLine, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(statusLine, "200") {
+		t.Fatalf("HEAD via GET handler: %q %v", statusLine, err)
+	}
+	var clen string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(line), "content-length:"); ok {
+			clen = strings.TrimSpace(v)
+		}
+	}
+	if clen != "3" {
+		t.Fatalf("HEAD Content-Length = %q, want 3 (len of \"got\")", clen)
+	}
+	code, _, body := readResponse(t, br)
+	if code != 200 || string(body) != "got" {
+		t.Fatalf("GET after HEAD: %d %q — HEAD leaked body bytes", code, body)
+	}
+
+	// Explicit HEAD registration wins over the GET fallback.
+	fmt.Fprint(conn, "HEAD /own HTTP/1.1\r\nHost: t\r\n\r\n")
+	code, headers, _ := readResponse(t, br)
+	if code != 200 || headers["x-head"] != "1" {
+		t.Fatalf("explicit HEAD handler: %d, X-Head %q", code, headers["x-head"])
+	}
+}
+
+// TestRouterMethodZeroAlloc: method dispatch must not push routing off
+// the zero-allocation path.
+func TestRouterMethodZeroAlloc(t *testing.T) {
+	r := NewRouter()
+	r.HandleMethod("GET", "/z", func(ctx *RequestCtx) {})
+	ctx := newTestCtx()
+	if err := parseRaw(ctx, "GET /z HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	r.Serve(ctx) // warm
+	if allocs := testing.AllocsPerRun(200, func() { r.Serve(ctx) }); allocs != 0 {
+		t.Fatalf("method routing allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// TestStatsHandler scrapes the debug endpoint over the wire and checks
+// the JSON carries the locality and pool counters a dashboard needs.
+func TestStatsHandler(t *testing.T) {
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	s := start(t, Config{Workers: 2, Handler: r.Serve})
+	// Setup-time registration: the server is live but nothing has
+	// connected yet, so this cannot race a Serve call.
+	r.Handle("/_stats", StatsHandler(s.Transport()))
+	conn, br := dial(t, s)
+
+	for i := 0; i < 3; i++ {
+		fmt.Fprint(conn, "GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+		if code, _, _ := readResponse(t, br); code != 200 {
+			t.Fatalf("warm-up request %d failed", i)
+		}
+	}
+	fmt.Fprint(conn, "GET /_stats HTTP/1.1\r\nHost: t\r\n\r\n")
+	code, headers, body := readResponse(t, br)
+	if code != 200 || headers["content-type"] != "application/json" {
+		t.Fatalf("stats endpoint: %d %q", code, headers["content-type"])
+	}
+	var payload struct {
+		Served       uint64
+		LocalityPct  float64 `json:"localityPct"`
+		PoolReusePct float64 `json:"poolReusePct"`
+		Workers      []struct{ Worker int }
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, body)
+	}
+	if payload.Served < 3 {
+		t.Errorf("stats served = %d, want >= 3", payload.Served)
+	}
+	if len(payload.Workers) != 2 {
+		t.Errorf("stats workers = %d, want 2", len(payload.Workers))
+	}
+	if payload.PoolReusePct == 0 {
+		t.Error("stats poolReusePct missing")
+	}
+}
+
 // TestHeadSuppressesBody: HEAD answers with the body's Content-Length
 // but no body bytes.
 func TestHeadSuppressesBody(t *testing.T) {
@@ -365,6 +512,10 @@ func TestProtocolErrors(t *testing.T) {
 		{"bad version", "GET / HTTP/2.0\r\n\r\n", 505},
 		{"chunked not implemented", "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
 		{"bad content length", "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400},
+		{"negative content length", "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+		{"overflowing content length", "POST / HTTP/1.1\r\nContent-Length: 18446744073709551617\r\n\r\n", 400},
+		{"duplicate content length",
+			"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\nabcd", 400},
 		{"headers too large", "GET / HTTP/1.1\r\nX-Big: " + strings.Repeat("x", 512) + "\r\n\r\n", 431},
 	}
 	for _, tc := range cases {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"time"
+
+	"affinityaccept/internal/http11"
 )
 
 // protoError is a request-level protocol failure the server answers
@@ -28,39 +30,15 @@ var (
 )
 
 var (
-	crlfCRLF = []byte("\r\n\r\n")
-	http11   = []byte("HTTP/1.1")
-	http10   = []byte("HTTP/1.0")
+	crlfCRLF    = []byte("\r\n\r\n")
+	protoHTTP11 = []byte("HTTP/1.1")
+	protoHTTP10 = []byte("HTTP/1.0")
 )
 
-// equalFold reports whether b equals the lowercase ASCII string s,
-// folding A-Z, without allocating.
-func equalFold(b []byte, s string) bool {
-	if len(b) != len(s) {
-		return false
-	}
-	for i := 0; i < len(b); i++ {
-		c := b[i]
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		if c != s[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// trimOWS strips optional whitespace (SP / HTAB) from both ends.
-func trimOWS(b []byte) []byte {
-	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
-		b = b[1:]
-	}
-	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
-		b = b[:len(b)-1]
-	}
-	return b
-}
+// equalFold and trimOWS are the shared byte-level primitives from
+// internal/http11, aliased so call sites stay short on the hot path.
+func equalFold(b []byte, s string) bool { return http11.EqualFold(b, s) }
+func trimOWS(b []byte) []byte           { return http11.TrimOWS(b) }
 
 // parseUint parses a non-negative decimal without allocating; false on
 // empty input, non-digits, or overflow past 2^30.
@@ -220,9 +198,9 @@ func (ctx *RequestCtx) parseHead(head []byte) error {
 		return errBadRequest
 	}
 	switch {
-	case bytes.Equal(req.proto, http11):
+	case bytes.Equal(req.proto, protoHTTP11):
 		req.keepAlive = true
-	case bytes.Equal(req.proto, http10):
+	case bytes.Equal(req.proto, protoHTTP10):
 		req.keepAlive = false
 	default:
 		return errBadVersion
@@ -239,6 +217,7 @@ func (ctx *RequestCtx) parseHead(head []byte) error {
 	} else {
 		rest = nil
 	}
+	seenCL := false
 	for len(rest) > 0 {
 		eol := bytes.Index(rest, crlf)
 		if eol < 0 {
@@ -258,6 +237,14 @@ func (ctx *RequestCtx) parseHead(head []byte) error {
 		req.headers = append(req.headers, headerField{key: key, val: val})
 		switch {
 		case equalFold(key, "content-length"):
+			// Duplicate Content-Length headers are a request-smuggling
+			// vector (RFC 9112 §6.3): two parsers disagreeing on which
+			// copy wins disagree on where the next request starts.
+			// Reject them outright, matching values included.
+			if seenCL {
+				return errBadRequest
+			}
+			seenCL = true
 			n, ok := parseUint(val)
 			if !ok {
 				return errBadRequest

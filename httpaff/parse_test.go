@@ -93,6 +93,16 @@ func TestParseErrors(t *testing.T) {
 		{"bad content length", "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", errBadRequest},
 		{"huge content length", "GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n", errBadRequest},
 		{"chunked", "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", errChunked},
+		{"empty content length", "GET / HTTP/1.1\r\nContent-Length:\r\n\r\n", errBadRequest},
+		{"signed content length", "GET / HTTP/1.1\r\nContent-Length: +5\r\n\r\n", errBadRequest},
+		{"comma content length", "GET / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\n", errBadRequest},
+		{"hex content length", "GET / HTTP/1.1\r\nContent-Length: 0x20\r\n\r\n", errBadRequest},
+		{"duplicate content length, same value",
+			"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n", errBadRequest},
+		{"duplicate content length, different values",
+			"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\n", errBadRequest},
+		{"duplicate content length, folded case",
+			"POST / HTTP/1.1\r\ncontent-length: 4\r\nCONTENT-LENGTH: 9\r\n\r\n", errBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -136,6 +146,17 @@ func TestHelpers(t *testing.T) {
 	for _, bad := range []string{"", "12a", "-1", "99999999999999999999"} {
 		if _, ok := parseUint([]byte(bad)); ok {
 			t.Errorf("parseUint(%q) accepted", bad)
+		}
+	}
+	// Overflow boundary: the parser caps at 2^30, and — crucially — must
+	// not wrap around into a small accepted value on 64-bit overflow
+	// territory ("18446744073709551617" would wrap to 1 in uint64 math).
+	if n, ok := parseUint([]byte("1073741824")); !ok || n != 1<<30 {
+		t.Errorf("parseUint(2^30) = %d, %v; want accepted", n, ok)
+	}
+	for _, bad := range []string{"1073741825", "18446744073709551617"} {
+		if n, ok := parseUint([]byte(bad)); ok {
+			t.Errorf("parseUint(%q) accepted as %d, want overflow rejection", bad, n)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package httpaff
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"affinityaccept/serve"
+)
+
+// statsPayload is the JSON shape StatsHandler serves: the raw
+// serve.Stats snapshot plus the derived percentages dashboards and the
+// bench tooling want without re-deriving them client-side.
+type statsPayload struct {
+	serve.Stats
+	LocalityPct      float64 `json:"localityPct"`
+	StealPct         float64 `json:"stealPct"`
+	PoolReusePct     float64 `json:"poolReusePct"`
+	UpstreamReusePct float64 `json:"upstreamReusePct"`
+}
+
+// StatsHandler returns a handler serving srv's live Stats snapshot as
+// JSON — locality, steals, migrations, requeues, the worker-local
+// request-memory pool counters and (when a proxy wires
+// Config.WorkerUpstream) the upstream connection-pool counters, with
+// the per-worker breakdown. Mount it on a Router path (conventionally
+// "/_stats") so the edge's core-locality can be scraped while it
+// serves; this endpoint is diagnostic, not hot-path, and allocates.
+func StatsHandler(srv *serve.Server) HandlerFunc {
+	return func(ctx *RequestCtx) {
+		st := srv.Stats()
+		out, err := json.Marshal(statsPayload{
+			Stats:            st,
+			LocalityPct:      st.LocalityPct(),
+			StealPct:         st.StealPct(),
+			PoolReusePct:     st.Pool.ReusePct(),
+			UpstreamReusePct: st.Upstream.ReusePct(),
+		})
+		if err != nil {
+			ctx.SetStatus(http.StatusInternalServerError)
+			return
+		}
+		ctx.SetContentType("application/json")
+		ctx.Write(out)
+	}
+}

@@ -1,0 +1,34 @@
+// Package http11 holds the byte-level HTTP/1.1 primitives shared by
+// the server-side parser (httpaff) and the client-side relay parser
+// (proxyaff). Everything here is allocation-free and inlinable — these
+// run on both layers' zero-allocation hot paths.
+package http11
+
+// EqualFold reports whether b equals the lowercase ASCII string s,
+// folding A-Z, without allocating.
+func EqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TrimOWS strips optional whitespace (SP / HTAB) from both ends.
+func TrimOWS(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package proxyaff
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"affinityaccept/httpaff"
+)
+
+var benchBody = []byte("hello through the core-local edge!")
+
+// startBenchEdge builds the full in-process chain — httpaff backend,
+// proxyaff edge, one warm keep-alive client connection — and learns the
+// fixed response length from a warm-up exchange.
+func startBenchEdge(tb testing.TB) (*Proxy, net.Conn, int) {
+	tb.Helper()
+	backend, err := httpaff.New(httpaff.Config{
+		Workers: 2,
+		Handler: func(ctx *httpaff.RequestCtx) { ctx.Write(benchBody) },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	backend.Start()
+	p, err := New(Config{Backends: []string{backend.Addr().String()}, Workers: 2, Policy: WorkerPinned})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	front, err := httpaff.New(httpaff.Config{Workers: 2, Handler: p.Serve, WorkerUpstream: p.PoolSnapshot})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	front.Start()
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Shutdown(ctx)
+		p.Close()
+		backend.Shutdown(ctx)
+	})
+
+	conn, err := net.Dial("tcp", front.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(5 * time.Minute))
+
+	if _, err := conn.Write(benchRequest); err != nil {
+		tb.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	n := 0
+	for {
+		m, err := conn.Read(buf[n:])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		n += m
+		i := bytes.Index(buf[:n], []byte("\r\n\r\n"))
+		if i < 0 {
+			continue
+		}
+		cl := bytes.Index(buf[:i], []byte("Content-Length: "))
+		if cl < 0 {
+			tb.Fatalf("no Content-Length in %q", buf[:i])
+		}
+		end := bytes.IndexByte(buf[cl:], '\r') + cl
+		size, err := strconv.Atoi(string(buf[cl+len("Content-Length: ") : end]))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		total := i + 4 + size
+		for n < total {
+			m, err := conn.Read(buf[n:total])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			n += m
+		}
+		return p, conn, total
+	}
+}
+
+var benchRequest = []byte("GET /bench HTTP/1.1\r\nHost: edge\r\nUser-Agent: affinity-bench\r\n\r\n")
+
+const pipelineDepth = 64
+
+// BenchmarkProxiedPipelinedKeepAlive is the acceptance benchmark:
+// pipelined keep-alive HTTP/1.1 through the full client → proxy →
+// backend chain over real loopback TCP, measured process-wide. It
+// asserts the steady-state path — both servers' arenas, the relay's
+// scratch buffers AND the per-worker upstream pool — allocates zero
+// objects per proxied request (engaged once b.N is steady-state sized).
+func BenchmarkProxiedPipelinedKeepAlive(b *testing.B) {
+	_, conn, respLen := startBenchEdge(b)
+	batchReq := bytes.Repeat(benchRequest, pipelineDepth)
+	batchResp := make([]byte, respLen*pipelineDepth)
+
+	// One full batch outside the window warms both arenas, the park
+	// wrappers, the pooled upstream conn and the client buffers.
+	if _, err := conn.Write(batchReq); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, batchResp); err != nil {
+		b.Fatal(err)
+	}
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for served := 0; served < b.N; {
+		depth := pipelineDepth
+		if remaining := b.N - served; remaining < depth {
+			depth = remaining
+		}
+		if _, err := conn.Write(batchReq[:depth*len(benchRequest)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, batchResp[:depth*respLen]); err != nil {
+			b.Fatal(err)
+		}
+		served += depth
+	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if b.N >= 1000 {
+		perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+		if perOp >= 1 {
+			b.Fatalf("%.2f allocs per proxied request on the steady-state path, want 0", perOp)
+		}
+	}
+}
+
+// TestProxySteadyStateZeroAlloc enforces the benchmark's claim in a
+// plain test run: after warm-up, a thousand proxied pipelined requests
+// allocate zero objects per request process-wide — and the upstream
+// pool serves them at ≥ 99% worker-local reuse.
+func TestProxySteadyStateZeroAlloc(t *testing.T) {
+	p, conn, respLen := startBenchEdge(t)
+	const depth, batches = 50, 20
+	batchReq := bytes.Repeat(benchRequest, depth)
+	batchResp := make([]byte, respLen*depth)
+	roundTrip := func() {
+		if _, err := conn.Write(batchReq); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, batchResp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip()
+	roundTrip()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < batches; i++ {
+		roundTrip()
+	}
+	runtime.ReadMemStats(&after)
+	perReq := float64(after.Mallocs-before.Mallocs) / float64(depth*batches)
+	if perReq >= 1 {
+		t.Fatalf("steady-state proxying allocates %.2f objects per request, want 0 "+
+			"(total %d mallocs over %d requests)", perReq, after.Mallocs-before.Mallocs, depth*batches)
+	}
+	st := p.Stats()
+	if pct := st.Pool.ReusePct(); pct < 99 {
+		t.Fatalf("upstream pool reuse %.1f%% in steady state, want >= 99%% (%d misses of %d gets)",
+			pct, st.Pool.Misses, st.Pool.Gets())
+	}
+	t.Logf("steady state: %.3f allocs/request (%d mallocs over %d requests), upstream reuse %.2f%%",
+		perReq, after.Mallocs-before.Mallocs, depth*batches, st.Pool.ReusePct())
+}

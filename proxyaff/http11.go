@@ -1,0 +1,169 @@
+package proxyaff
+
+import (
+	"bytes"
+
+	"affinityaccept/internal/http11"
+)
+
+// Byte-level HTTP/1.1 helpers for the relay path. The primitives
+// shared with the httpaff parser live in internal/http11; what remains
+// here is specific to parsing the *upstream* side of an exchange,
+// where the proxy is the client.
+
+var (
+	crlf     = []byte("\r\n")
+	crlfCRLF = []byte("\r\n\r\n")
+)
+
+func equalFold(b []byte, s string) bool { return http11.EqualFold(b, s) }
+func trimOWS(b []byte) []byte           { return http11.TrimOWS(b) }
+
+// parseContentLength parses an upstream response's Content-Length
+// without allocating. Unlike the request-side parser's 2^30 cap (a
+// request-smuggling bound on what this server will buffer), a relayed
+// response body is streamed in 32 KiB chunks and never buffered whole,
+// so the only cap is what an int64 byte count can express.
+func parseContentLength(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+		if n > 1<<60 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// equalFoldBytes reports whether a and b are equal under ASCII A-Z
+// folding, without allocating.
+func equalFoldBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// tokenListContains reports whether the comma-separated token list
+// (e.g. a Connection header value, "close, TE") contains the lowercase
+// token s, ASCII case-insensitively.
+func tokenListContains(list []byte, s string) bool {
+	for len(list) > 0 {
+		var tok []byte
+		if i := bytes.IndexByte(list, ','); i >= 0 {
+			tok, list = list[:i], list[i+1:]
+		} else {
+			tok, list = list, nil
+		}
+		if equalFold(trimOWS(tok), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// connectionNominates reports whether the Connection header value list
+// nominates the header named name as connection-scoped (RFC 9110
+// §7.6.1): nominated headers must be consumed by this hop, not
+// forwarded.
+func connectionNominates(list, name []byte) bool {
+	for len(list) > 0 {
+		var tok []byte
+		if i := bytes.IndexByte(list, ','); i >= 0 {
+			tok, list = list[:i], list[i+1:]
+		} else {
+			tok, list = list, nil
+		}
+		if equalFoldBytes(trimOWS(tok), name) {
+			return true
+		}
+	}
+	return false
+}
+
+// idempotentMethod reports whether the request method is safe to
+// replay on a fresh connection after a stale pooled connection failed
+// before yielding a response byte. A write failure does not prove the
+// backend never *processed* the request — only idempotent methods
+// (RFC 9110 §9.2.2, matching net/http.Transport's retry set) may be
+// repeated without risking double execution.
+func idempotentMethod(m []byte) bool {
+	return equalFold(m, "get") || equalFold(m, "head") ||
+		equalFold(m, "options") || equalFold(m, "trace")
+}
+
+// hopByHop reports whether the header named key is connection-scoped
+// (RFC 9110 §7.6.1) and must not be forwarded across the proxy in
+// either direction.
+func hopByHop(key []byte) bool {
+	switch len(key) {
+	case 2:
+		return equalFold(key, "te")
+	case 7:
+		return equalFold(key, "trailer") || equalFold(key, "upgrade")
+	case 10:
+		return equalFold(key, "connection") || equalFold(key, "keep-alive")
+	case 16:
+		return equalFold(key, "proxy-connection")
+	case 17:
+		return equalFold(key, "transfer-encoding")
+	case 18:
+		return equalFold(key, "proxy-authenticate")
+	case 19:
+		return equalFold(key, "proxy-authorization")
+	}
+	return false
+}
+
+// parseStatusLine extracts the status code from an upstream status line
+// ("HTTP/1.1 200 OK"; the reason phrase is optional) and reports
+// whether the upstream speaks keep-alive by default (HTTP/1.1). ok is
+// false on anything else.
+func parseStatusLine(line []byte) (code int, keepAlive, ok bool) {
+	const prefix = len("HTTP/1.x ") // status code starts at 9
+	if len(line) < prefix+3 || !bytes.HasPrefix(line, []byte("HTTP/1.")) || line[8] != ' ' {
+		return 0, false, false
+	}
+	if v := line[7]; v == '1' {
+		keepAlive = true
+	} else if v != '0' {
+		return 0, false, false
+	}
+	for _, c := range line[prefix : prefix+3] {
+		if c < '0' || c > '9' {
+			return 0, false, false
+		}
+		code = code*10 + int(c-'0')
+	}
+	if len(line) > prefix+3 && line[prefix+3] != ' ' {
+		return 0, false, false
+	}
+	return code, keepAlive, true
+}
+
+// nextLine splits buf at the first CRLF, returning the line and the
+// rest (nil when the terminator is absent, consuming everything).
+func nextLine(buf []byte) (line, rest []byte) {
+	if i := bytes.Index(buf, crlf); i >= 0 {
+		return buf[:i], buf[i+2:]
+	}
+	return buf, nil
+}

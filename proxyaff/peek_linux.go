@@ -1,0 +1,63 @@
+//go:build linux
+
+package proxyaff
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// peekState carries the pre-built machinery for the checkout liveness
+// probe: one non-blocking MSG_PEEK recv on the pooled connection's
+// descriptor. Everything — the RawConn, the callback closure, the peek
+// byte — is allocated once at dial time, so the per-checkout probe
+// costs one syscall and zero allocations, keeping the proxy's
+// steady-state path allocation-free.
+type peekState struct {
+	rc   syscall.RawConn
+	fn   func(fd uintptr) bool
+	buf  [1]byte
+	live bool
+}
+
+// initPeek prepares uc's peek state. Connections without raw descriptor
+// access (test doubles) keep rc nil and are treated optimistically.
+func (uc *upstreamConn) initPeek() {
+	sc, ok := uc.c.(syscall.Conn)
+	if !ok {
+		return
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return
+	}
+	p := &uc.peek
+	p.rc = rc
+	p.fn = func(fd uintptr) bool {
+		n, _, errno := syscall.Syscall6(syscall.SYS_RECVFROM, fd,
+			uintptr(unsafe.Pointer(&p.buf[0])), 1,
+			syscall.MSG_PEEK|syscall.MSG_DONTWAIT, 0, 0)
+		// EAGAIN — open with nothing to read — is exactly what a healthy
+		// idle keep-alive connection looks like. Zero bytes with no
+		// error is EOF (the backend closed while we idled); readable
+		// bytes are an unsolicited or left-over response. Both mean the
+		// connection must not carry another request.
+		p.live = errno == syscall.EAGAIN
+		_ = n
+		return true
+	}
+}
+
+// alive reports whether the pooled connection is still open and quiet.
+// It never blocks: the callback runs immediately and MSG_DONTWAIT keeps
+// the recv non-blocking regardless of socket mode.
+func (uc *upstreamConn) alive() bool {
+	p := &uc.peek
+	if p.rc == nil {
+		return true // no descriptor access: optimistic, the retry path covers it
+	}
+	if err := p.rc.Read(p.fn); err != nil {
+		return false
+	}
+	return p.live
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package proxyaff
+
+// peekState is empty off Linux: without a portable non-blocking
+// MSG_PEEK, checkout liveness is optimistic and staleness is caught by
+// the proxy's retry-once path — a reused connection that dies before
+// yielding a response byte is discarded and the request repeated on a
+// fresh dial.
+type peekState struct{}
+
+func (uc *upstreamConn) initPeek() {}
+
+// alive optimistically reports true; see peekState.
+func (uc *upstreamConn) alive() bool { return true }

@@ -9,11 +9,27 @@ import (
 // its next request. The park goroutine blocks on a one-byte read — the
 // only portable "wait until readable" Go offers — and the byte is
 // replayed to the handler through Read. The wrapper is reused across
-// requeue passes so a long-lived connection never accretes nesting.
+// requeue passes so a long-lived connection never accretes nesting, and
+// so is its parker goroutine: parkCh hands the connection back to one
+// persistent per-connection goroutine (spawned on the first Requeue)
+// instead of spawning a fresh goroutine per park, which would put a
+// closure allocation on every keep-alive pass.
 type parkedConn struct {
 	net.Conn
-	head byte
-	has  bool
+	head      byte
+	has       bool
+	wakeBuf   [1]byte       // park's read scratch: a field, so the interface Read cannot heap-escape it per pass
+	parkCh    chan struct{} // buffered(1): signals the parker to take ownership
+	closeOnce sync.Once
+}
+
+// Close is the handler's half of the ownership contract: a handler
+// finishes a connection either by a successful Requeue (the server owns
+// it) or by Close — never both. Closing retires the persistent parker
+// goroutine along with the transport connection.
+func (p *parkedConn) Close() error {
+	p.closeOnce.Do(func() { close(p.parkCh) })
+	return p.Conn.Close()
 }
 
 // NetConn returns the connection the park wrapper wraps, mirroring
@@ -106,39 +122,56 @@ func (ps *parkSet) wait() { ps.wg.Wait() }
 // parked, the server closes it.
 func (s *Server) Requeue(conn net.Conn) bool {
 	p, ok := conn.(*parkedConn)
-	if !ok {
-		p = &parkedConn{Conn: conn}
+	fresh := !ok
+	if fresh {
+		p = &parkedConn{Conn: conn, parkCh: make(chan struct{}, 1)}
 	}
 	if !s.parked.add(p) {
-		return false
+		return false // no parker spawned yet for a fresh conn: p is plain garbage
 	}
 	s.requeued.Add(1)
-	go s.park(p)
+	if fresh {
+		go s.parkLoop(p)
+	}
+	p.parkCh <- struct{}{}
 	return true
 }
 
+// parkLoop is a connection's persistent parker: it owns the connection
+// between a Requeue and the next request byte, once per signal on
+// parkCh. It exits when the connection finishes — park saw EOF or shed
+// it, or the handler Closed the wrapper (closing parkCh).
+func (s *Server) parkLoop(p *parkedConn) {
+	for range p.parkCh {
+		if !s.park(p) {
+			return
+		}
+	}
+}
+
 // park waits for the connection's next request byte, then routes it
-// back into the balancer. A handler may requeue without having consumed
-// the replayed byte (responding early, backpressure); that byte is
-// still the next unread input, so the connection re-routes immediately
-// instead of reading — and losing — a second byte.
-func (s *Server) park(p *parkedConn) {
+// back into the balancer, reporting whether the connection is still
+// live. A handler may requeue without having consumed the replayed byte
+// (responding early, backpressure); that byte is still the next unread
+// input, so the connection re-routes immediately instead of reading —
+// and losing — a second byte.
+func (s *Server) park(p *parkedConn) (alive bool) {
 	defer s.parked.done()
 	if !p.has {
-		var buf [1]byte
-		n, err := p.Conn.Read(buf[:])
+		n, err := p.Conn.Read(p.wakeBuf[:])
 		if err != nil || n == 0 {
 			s.parked.remove(p)
 			p.Conn.Close() // peer gone, or Shutdown closed us mid-park
-			return
+			return false
 		}
-		p.head, p.has = buf[0], true
+		p.head, p.has = p.wakeBuf[0], true
 	}
 	s.parked.remove(p)
 	worker := s.route(p)
 	if !s.bal.Push(worker, p) {
 		p.Conn.Close() // queue overflow: shed load, as at accept time
-		return
+		return false
 	}
 	s.wakeWorkers()
+	return true
 }

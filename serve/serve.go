@@ -103,6 +103,14 @@ type Config struct {
 	// same snapshot that proves connections stay local (ServedLocal)
 	// also proves the memory behind them does (pool reuse rate).
 	WorkerPool func(worker int) PoolStats
+
+	// WorkerUpstream, if set, reports each worker's upstream
+	// connection-pool counters — the outbound dual of WorkerPool. The
+	// proxyaff layer wires its per-worker backend pools through this, so
+	// one Stats snapshot covers the whole core-local path: inbound
+	// locality (ServedLocal), request memory (Pool) and upstream
+	// connection reuse (Upstream).
+	WorkerUpstream func(worker int) PoolStats
 }
 
 func (c *Config) fill() error {
@@ -374,6 +382,12 @@ func (s *Server) workerLoop(worker int) {
 	defer s.workerWG.Done()
 	st := &s.workers[worker]
 	var idleMark time.Time // start of the unobserved idle stretch
+	// One reusable timer per worker for the idle re-poll: time.After in
+	// this loop would allocate a timer per poll, and an idle worker
+	// polls 5,000 times a second — enough garbage to show up in the
+	// zero-allocation accounting of the layers above.
+	poll := time.NewTimer(time.Hour)
+	defer poll.Stop()
 	for {
 		conn, from, ok := s.bal.Pop(worker)
 		if ok {
@@ -401,13 +415,14 @@ func (s *Server) workerLoop(worker int) {
 		if s.draining.Load() && s.bal.TotalLen() == 0 {
 			return
 		}
+		poll.Reset(200 * time.Microsecond)
 		select {
 		case <-s.wake:
 		case <-s.drainCh:
 			// Draining: re-poll promptly, but yield so workers whose
 			// queues cannot be stolen from don't spin.
 			time.Sleep(50 * time.Microsecond)
-		case <-time.After(200 * time.Microsecond):
+		case <-poll.C:
 			// Periodic re-poll: a remote queue may have crossed its
 			// high watermark and become stealable.
 		}
@@ -492,6 +507,10 @@ func (s *Server) Stats() Stats {
 		if s.cfg.WorkerPool != nil {
 			st.Workers[i].Pool = s.cfg.WorkerPool(i)
 			st.Pool = st.Pool.Add(st.Workers[i].Pool)
+		}
+		if s.cfg.WorkerUpstream != nil {
+			st.Workers[i].Upstream = s.cfg.WorkerUpstream(i)
+			st.Upstream = st.Upstream.Add(st.Workers[i].Upstream)
 		}
 		st.Accepted += st.Workers[i].Accepted
 		st.Queued += st.Workers[i].QueueDepth

@@ -38,6 +38,11 @@ type WorkerStats struct {
 	// Pool is this worker's application object-pool traffic (zero
 	// unless Config.WorkerPool is set).
 	Pool PoolStats
+	// Upstream is this worker's upstream connection-pool traffic —
+	// backend connections dialed (Misses), reused from the worker's own
+	// free list (Reuses) and discarded over the idle cap (Drops). Zero
+	// unless Config.WorkerUpstream is set.
+	Upstream PoolStats
 }
 
 // Stats is an aggregate snapshot of a Server, shaped like the
@@ -62,6 +67,9 @@ type Stats struct {
 	// Pool aggregates the per-worker object-pool counters (zero unless
 	// Config.WorkerPool is set).
 	Pool PoolStats
+	// Upstream aggregates the per-worker upstream connection-pool
+	// counters (zero unless Config.WorkerUpstream is set).
+	Upstream PoolStats
 	// Queued and Active are instantaneous totals across workers.
 	Queued  int
 	Active  int64
@@ -103,10 +111,18 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "pools: %d gets, %.1f%% reused from the worker-local free list (%d misses, %d drops)\n",
 			s.Pool.Gets(), s.Pool.ReusePct(), s.Pool.Misses, s.Pool.Drops)
 	}
+	upstream := s.Upstream.Gets() > 0
+	if upstream {
+		fmt.Fprintf(&b, "upstream: %d checkouts, %.1f%% reused from the worker-local pool (%d dials, %d drops)\n",
+			s.Upstream.Gets(), s.Upstream.ReusePct(), s.Upstream.Misses, s.Upstream.Drops)
+	}
 	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %7s %8s %5s",
 		"worker", "accepted", "local", "stolen", "active", "qdepth", "groups", "migr-in", "busy")
 	if pools {
 		fmt.Fprintf(&b, " %9s %7s", "pool-get", "reuse%")
+	}
+	if upstream {
+		fmt.Fprintf(&b, " %9s %7s", "up-get", "up-re%")
 	}
 	b.WriteByte('\n')
 	for _, w := range s.Workers {
@@ -119,6 +135,9 @@ func (s Stats) String() string {
 			w.GroupsOwned, w.MigratedIn, busy)
 		if pools {
 			fmt.Fprintf(&b, " %9d %7.1f", w.Pool.Gets(), w.Pool.ReusePct())
+		}
+		if upstream {
+			fmt.Fprintf(&b, " %9d %7.1f", w.Upstream.Gets(), w.Upstream.ReusePct())
 		}
 		b.WriteByte('\n')
 	}
