@@ -48,6 +48,20 @@ type benchReport struct {
 	UpstreamMisses   uint64  `json:"upstreamMisses,omitempty"`
 	UpstreamReusePct float64 `json:"upstreamReusePct,omitempty"`
 
+	// wsaff long-lived workload counters (-ws scenarios only). WSHeld is
+	// the held-open idle population, WSParked the sockets parked when
+	// the window ended, WSReceived the broadcast frames the held clients
+	// actually read.
+	WSHeld       uint64 `json:"wsHeld,omitempty"`
+	WSParked     int64  `json:"wsParked,omitempty"`
+	WSFramesIn   uint64 `json:"wsFramesIn,omitempty"`
+	WSFramesOut  uint64 `json:"wsFramesOut,omitempty"`
+	WSPings      uint64 `json:"wsPings,omitempty"`
+	WSPongs      uint64 `json:"wsPongs,omitempty"`
+	WSBroadcasts uint64 `json:"wsBroadcasts,omitempty"`
+	WSDelivered  uint64 `json:"wsDelivered,omitempty"`
+	WSReceived   uint64 `json:"wsReceived,omitempty"`
+
 	// Environment metadata.
 	GoVersion  string `json:"goVersion"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

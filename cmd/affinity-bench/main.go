@@ -22,6 +22,11 @@
 //	affinity-bench -proxy                  # proxyaff edge: client → proxy → backends
 //	affinity-bench -proxy -backends 4 -pinned=false      # round-robin over 4 backends
 //	affinity-bench -proxy -migrate=false                 # edge without §3.3.2 migration
+//
+//	affinity-bench -ws                     # wsaff: skewed long-lived WebSocket echo
+//	affinity-bench -ws -clients 16 -held 1000            # plus 1000 idle held-open sockets
+//	affinity-bench -ws -broadcast-every 50ms             # plus broadcast fan-out load
+//	affinity-bench -ws -migrate=false                    # without §3.3.2 migration
 package main
 
 import (
@@ -58,6 +63,10 @@ func main() {
 		nBackends = flag.Int("backends", 2, "in-process backend servers in -proxy mode")
 		pinned    = flag.Bool("pinned", true, "worker-pinned backend selection in -proxy mode (false = round-robin)")
 
+		wsMode    = flag.Bool("ws", false, "benchmark the wsaff WebSocket layer: skewed long-lived echo connections, optional held-open and broadcast load")
+		held      = flag.Int("held", 0, "held-open idle subscribed WebSocket connections in -ws mode")
+		broadcast = flag.Duration("broadcast-every", 0, "publish a broadcast at this period in -ws mode (0 = off)")
+
 		longlived    = flag.Int("longlived", 0, "drive N long-lived keep-alive connections skewed onto worker 0's flow groups (demonstrates §3.3.2 migration)")
 		work         = flag.Duration("work", 200*time.Microsecond, "per-request handler service time in -longlived mode")
 		migrate      = flag.Bool("migrate", true, "enable the flow-group migration loop")
@@ -66,6 +75,29 @@ func main() {
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 	)
 	flag.Parse()
+
+	if *wsMode {
+		err := runWSBench(wsOpts{
+			addr:           *addr,
+			workers:        *workers,
+			conns:          *clients,
+			held:           *held,
+			payload:        *payload,
+			duration:       *duration,
+			work:           *work,
+			noShard:        *noShard,
+			broadcastEvery: *broadcast,
+			migrate:        *migrate,
+			migrateEvery:   *migrateEvery,
+			groups:         *groups,
+			jsonPath:       *jsonPath,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *proxyMode {
 		err := runProxyBench(proxyOpts{

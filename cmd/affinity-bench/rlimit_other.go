@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// raiseFDLimit is a no-op without unix rlimits.
+func raiseFDLimit() uint64 { return 0 }

@@ -72,6 +72,10 @@ type RequestCtx struct {
 
 	req  request
 	resp response
+
+	// hijack, set by Hijack, is the takeover that replaces HTTP serving
+	// on this connection once the current response has flushed.
+	hijack TakeoverFunc
 }
 
 func (ctx *RequestCtx) begin(nc net.Conn, c *conn, worker int) {
@@ -84,6 +88,7 @@ func (ctx *RequestCtx) end() {
 	ctx.wbuf = ctx.wbuf[:0]
 	ctx.req.reset()
 	ctx.resp.reset()
+	ctx.hijack = nil
 }
 
 // buffered reports how many unconsumed request bytes are sitting in the
@@ -257,6 +262,43 @@ func (ctx *RequestCtx) RawBuffered() int { return len(ctx.wbuf) }
 // stays bounded. Outside raw mode the server flushes on its own
 // schedule and handlers should not call this.
 func (ctx *RequestCtx) RawFlush() error { return ctx.flush() }
+
+// ---- protocol upgrades ----
+//
+// An HTTP/1.1 Upgrade (RFC 9110 §7.8) permanently hands the connection
+// to another protocol. The hooks below keep that handoff on the worker:
+// the upgrading handler serializes its 101 in raw mode, then either
+// hijacks (the takeover serves all future passes, parking through the
+// same flow-table Requeue path as keep-alive HTTP — the wsaff layer) or
+// pumps the connection inline to completion (the proxyaff tunnel).
+
+// Hijack switches the connection to takeover mode: after the current
+// handler returns and its response (serialized by the handler in raw
+// mode — typically a 101) has flushed, the server stops speaking HTTP
+// on this connection and instead calls t for the rest of its life, one
+// pass per available input, starting with an immediate first pass on
+// this same worker. Any input already buffered beyond the current
+// request (frames the client pipelined behind its upgrade request) is
+// replayed to the takeover before fresh transport reads.
+func (ctx *RequestCtx) Hijack(t TakeoverFunc) { ctx.hijack = t }
+
+// NetConn returns the current pass's transport connection — for
+// handlers that relay raw bytes in both directions (the proxyaff
+// 101 tunnel). Reads through it replay parked and residual input
+// correctly; a handler that touches it owns the connection's framing
+// from that point on and must SetConnectionClose so the server does
+// not try to keep serving HTTP on it.
+func (ctx *RequestCtx) NetConn() net.Conn { return ctx.conn }
+
+// Residual returns the unconsumed input bytes buffered beyond the
+// current request — what a client pipelined behind an upgrade request —
+// and consumes them from the HTTP layer. The slice aliases the worker
+// arena: copy it or relay it before the handler returns.
+func (ctx *RequestCtx) Residual() []byte {
+	b := ctx.rbuf[ctx.rpos:ctx.rlen]
+	ctx.rpos = ctx.rlen
+	return b
+}
 
 // ---- serialization ----
 

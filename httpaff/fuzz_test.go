@@ -1,0 +1,93 @@
+package httpaff
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds is the shared seed corpus: every shape the handwritten
+// parser tests exercise, valid and hostile. The committed corpus under
+// testdata/fuzz/FuzzParseHead extends it with fuzzer-found inputs.
+var fuzzSeeds = []string{
+	"GET /x/y?a=1&b=2 HTTP/1.1\r\nHost: h\r\n\r\n",
+	"POST /u HTTP/1.1\r\nHost: example.test\r\nContent-Length:  42\r\nX-Custom:\tspaced value \r\nCONNECTION: Keep-Alive\r\n\r\n",
+	"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+	"GARBAGE\r\n\r\n",
+	"GET /\r\n\r\n",
+	"GET  HTTP/1.1\r\n\r\n",
+	"GET / SPDY/3\r\n\r\n",
+	"GET / HTTP/1.1\r\nbroken\r\n\r\n",
+	"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+	"GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+	"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+	"GET / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+	"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+	"POST / HTTP/1.1\r\ncontent-length: 4\r\nCONTENT-LENGTH: 9\r\n\r\n",
+	"HEAD /h HTTP/1.1\r\n\r\n",
+	"GET /ws HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: x\r\nSec-WebSocket-Version: 13\r\n\r\n",
+	"\r\n\r\n",
+	"A B C\r\nX:\r\n\r\n",
+}
+
+// FuzzParseHead hammers the zero-copy request parser with arbitrary
+// head bytes. The parser's contract under fuzzing:
+//
+//   - never panic, whatever the bytes;
+//   - on success, the request-line views are non-empty, alias the
+//     input buffer, and Content-Length is within the buffering cap;
+//   - parsing is deterministic: the same bytes parse to the same
+//     result twice (the parser must not leave state behind in the ctx).
+func FuzzParseHead(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		end := bytes.Index(data, crlfCRLF)
+		if end < 0 {
+			// readRequest only hands parseHead a complete head; mirror
+			// that contract by completing the terminator ourselves.
+			data = append(data, crlfCRLF...)
+			end = len(data) - 4
+		}
+		head := data[:end+2]
+
+		ctx := newTestCtx()
+		if len(head) > len(ctx.rbuf) {
+			ctx.rbuf = make([]byte, len(head))
+		}
+		copy(ctx.rbuf, head)
+		ctx.rlen = len(head)
+		err := ctx.parseHead(ctx.rbuf[:len(head)])
+		if err != nil {
+			var pe *protoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parseHead returned a non-protocol error: %v", err)
+			}
+			return
+		}
+		if len(ctx.req.method) == 0 || len(ctx.req.uri) == 0 || len(ctx.req.proto) == 0 {
+			t.Fatalf("accepted request with empty views: method=%q uri=%q proto=%q from %q",
+				ctx.req.method, ctx.req.uri, ctx.req.proto, head)
+		}
+		if ctx.req.contentLength < 0 || ctx.req.contentLength > 1<<30 {
+			t.Fatalf("accepted Content-Length %d outside [0, 2^30] from %q", ctx.req.contentLength, head)
+		}
+		for _, h := range ctx.req.headers {
+			if len(h.key) == 0 {
+				t.Fatalf("accepted header with empty key from %q", head)
+			}
+		}
+		method1, uri1, nHeaders := string(ctx.req.method), string(ctx.req.uri), len(ctx.req.headers)
+
+		// Determinism: a second parse of the same bytes in the same ctx
+		// (the keep-alive reuse pattern) must agree.
+		if err := ctx.parseHead(ctx.rbuf[:len(head)]); err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if string(ctx.req.method) != method1 || string(ctx.req.uri) != uri1 || len(ctx.req.headers) != nHeaders {
+			t.Fatalf("reparse disagreed: %q/%q/%d vs %q/%q/%d",
+				ctx.req.method, ctx.req.uri, len(ctx.req.headers), method1, uri1, nHeaders)
+		}
+	})
+}

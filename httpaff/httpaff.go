@@ -276,14 +276,48 @@ func (s *Server) refreshDate() {
 
 func (s *Server) dateBytes() []byte { return *s.date.Load() }
 
+// TakeoverFunc serves one pass of a connection whose protocol has been
+// upgraded away from HTTP (RequestCtx.Hijack). It runs inline on the
+// worker goroutine, exactly like an HTTP handler pass: worker is the
+// serving worker's index and nc is the pass's transport view (which
+// replays the park wake-up byte and any residual buffered input).
+// Returning park=true hands the connection back to the server to park
+// until its next input byte — the takeover owns the read deadline;
+// returning false means the takeover has closed the connection (or
+// will: the server does nothing further with it).
+type TakeoverFunc func(worker int, nc net.Conn) (park bool)
+
 // conn carries the HTTP state that must survive Requeue passes — the
-// per-connection request count. It is allocated once per accepted
+// per-connection request count, and after a Hijack the takeover
+// function and residual input. It is allocated once per accepted
 // connection (the only steady-state allocation in the subsystem) and
 // amortizes across every keep-alive request the connection serves.
 type conn struct {
 	net.Conn
 	reqs int // requests served on this connection so far
+
+	// takeover, once set by Hijack, replaces HTTP serving for every
+	// later pass; residual holds input bytes that were read beyond the
+	// upgrade request and must replay before the transport's.
+	takeover TakeoverFunc
+	residual []byte
 }
+
+// Read replays residual post-upgrade bytes before touching the
+// transport. On the HTTP path residual is always nil: one predictable
+// branch.
+func (c *conn) Read(b []byte) (int, error) {
+	if len(c.residual) > 0 {
+		n := copy(b, c.residual)
+		c.residual = c.residual[n:]
+		return n, nil
+	}
+	return c.Conn.Read(b)
+}
+
+// InputPending reports whether post-upgrade residual bytes are queued
+// for replay; see the serve layer's park wrapper for the contract.
+func (c *conn) InputPending() bool { return len(c.residual) > 0 }
 
 // unwrap recovers the state wrapper from whatever the serve layer hands
 // the handler: the wrapper itself on the first pass, or the park
@@ -312,12 +346,27 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		c = &conn{Conn: nc}
 		nc = c
 	}
+	if c.takeover != nil {
+		// The connection's protocol was upgraded away from HTTP on an
+		// earlier pass: the takeover serves it from here on, still one
+		// pass per available input, still on the flow group's owner.
+		s.runTakeover(worker, c, nc)
+		return
+	}
 	a := s.arenas[worker]
 	ctx := a.acquire()
 	ctx.begin(nc, c, worker)
 	park := s.servePass(ctx)
+	hijacked := c.takeover != nil
 	ctx.end()
 	a.release(ctx)
+	if hijacked {
+		// The upgrade response has flushed; run the takeover's first
+		// pass immediately, on this same worker, with the client's
+		// post-upgrade bytes (saved as residual) next in line to read.
+		s.runTakeover(worker, c, nc)
+		return
+	}
 	if !park {
 		return
 	}
@@ -332,6 +381,18 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 	nc.SetReadDeadline(dl)
 	if !s.srv.Requeue(nc) {
 		nc.Close()
+	}
+}
+
+// runTakeover runs one takeover pass and parks the connection if asked.
+// The takeover owns the read deadline (a parked WebSocket has no idle
+// timeout — its keep-alive is protocol-level pings), so unlike the HTTP
+// park path the server arms nothing here.
+func (s *Server) runTakeover(worker int, c *conn, nc net.Conn) {
+	if c.takeover(worker, nc) {
+		if !s.srv.Requeue(nc) {
+			nc.Close()
+		}
 	}
 }
 
@@ -359,6 +420,22 @@ func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 		c.reqs++
 		ctx.resp.reset()
 		s.handler(ctx)
+		if ctx.hijack != nil {
+			// Protocol upgrade: flush the handler's raw-mode response
+			// (the 101), preserve any post-upgrade input the client
+			// pipelined, and mark the connection taken over. The copy is
+			// once per connection lifetime — the arena buffer the bytes
+			// sit in is about to be released.
+			if ctx.flush() != nil {
+				ctx.conn.Close()
+				return false
+			}
+			if ctx.buffered() > 0 {
+				c.residual = append([]byte(nil), ctx.rbuf[ctx.rpos:ctx.rlen]...)
+			}
+			c.takeover = ctx.hijack
+			return false
+		}
 		closing := ctx.WillClose()
 		ctx.appendResponse(closing)
 		if closing {

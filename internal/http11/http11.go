@@ -32,3 +32,31 @@ func TrimOWS(b []byte) []byte {
 	}
 	return b
 }
+
+// TokenListContains reports whether the comma-separated token list
+// (a Connection header value, e.g. "close, TE") contains the lowercase
+// token s, ASCII case-insensitively, ignoring optional whitespace
+// around tokens.
+func TokenListContains(list []byte, s string) bool {
+	for len(list) > 0 {
+		var tok []byte
+		if i := indexComma(list); i >= 0 {
+			tok, list = list[:i], list[i+1:]
+		} else {
+			tok, list = list, nil
+		}
+		if EqualFold(TrimOWS(tok), s) {
+			return true
+		}
+	}
+	return false
+}
+
+func indexComma(b []byte) int {
+	for i := 0; i < len(b); i++ {
+		if b[i] == ',' {
+			return i
+		}
+	}
+	return -1
+}

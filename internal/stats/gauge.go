@@ -1,0 +1,25 @@
+package stats
+
+import "sync/atomic"
+
+// Gauge is an atomically updated instantaneous count — connections
+// currently parked, sockets currently held open, subscribers currently
+// registered. Unlike the PoolCounters events it can go down; unlike an
+// EWMA it carries no history. Owners update it from their own
+// goroutines and snapshots read it from anywhere, which is the same
+// single-writer-many-reader contract the pool counters follow.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Add adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Load reports the current value.
+func (g *Gauge) Load() int64 { return g.n.Load() }

@@ -1,0 +1,24 @@
+// Package testutil holds the small helpers the packages' tests share.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond every millisecond until it holds, failing the test
+// after the deadline. It is the deflaked replacement for fixed sleeps
+// in timing-sensitive tests: the test advances the moment the condition
+// is observable, and a slow machine gets the full deadline instead of a
+// flake. The CI race job repeats the tests built on it 50× to prove
+// they stay deterministic.
+func WaitFor(t testing.TB, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -9,7 +9,15 @@ import (
 	"time"
 
 	"affinityaccept/httpaff"
+	"affinityaccept/internal/testutil"
 )
+
+// waitFor is testutil.WaitFor: poll instead of sleep in
+// timing-sensitive tests (ejection re-probe, idle-close reaping).
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	testutil.WaitFor(t, d, cond, msg)
+}
 
 // rawBackend runs a hand-rolled TCP "origin" whose per-connection
 // behavior is the script — the tool for upstream misbehavior the
@@ -168,18 +176,13 @@ func TestProxyEjectionReprobeRecovery(t *testing.T) {
 	revived.Start()
 	t.Cleanup(func() { stopServer(t, revived) })
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	// Each probe is a live request; once the ejection window lapses the
+	// next one re-probes the revived backend and succeeds.
+	waitFor(t, 5*time.Second, func() bool {
 		fmt.Fprint(conn, "GET /whoami HTTP/1.1\r\nHost: edge\r\n\r\n")
 		code, _, body := readResponse(t, br)
-		if code == 200 && string(body) == "reborn" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("backend never recovered: last status %d", code)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+		return code == 200 && string(body) == "reborn"
+	}, "backend never recovered after the ejection window")
 	st := p.Stats()
 	if st.Backends[0].Ejected || st.Backends[0].ConsecutiveFails != 0 {
 		t.Errorf("re-probe success did not clear the health record: %+v", st.Backends[0])
@@ -380,7 +383,14 @@ func TestProxyRecoversFromBackendIdleClose(t *testing.T) {
 		if code != 200 || string(body) != "origin" {
 			t.Fatalf("round %d: %d %q", round, code, body)
 		}
-		time.Sleep(150 * time.Millisecond) // let the backend reap the idle upstream conn
+		// Wait for the upstream conn to park on the backend and for the
+		// backend's idle timeout to close it — observable as its parked
+		// gauge rising then falling — so the next round provably runs
+		// against a dead pooled connection.
+		waitFor(t, 5*time.Second, func() bool { return backend.Stats().Parked >= 1 },
+			"upstream conn never parked on the backend")
+		waitFor(t, 5*time.Second, func() bool { return backend.Stats().Parked == 0 },
+			"backend never reaped its idle upstream conn")
 	}
 	if st := p.Stats(); st.Backends[0].Ejected {
 		t.Error("idle-closed upstream conns must not eject a healthy backend")

@@ -64,20 +64,10 @@ func equalFoldBytes(a, b []byte) bool {
 
 // tokenListContains reports whether the comma-separated token list
 // (e.g. a Connection header value, "close, TE") contains the lowercase
-// token s, ASCII case-insensitively.
+// token s, ASCII case-insensitively. Shared with the wsaff upgrade
+// check via internal/http11.
 func tokenListContains(list []byte, s string) bool {
-	for len(list) > 0 {
-		var tok []byte
-		if i := bytes.IndexByte(list, ','); i >= 0 {
-			tok, list = list[:i], list[i+1:]
-		} else {
-			tok, list = list, nil
-		}
-		if equalFold(trimOWS(tok), s) {
-			return true
-		}
-	}
-	return false
+	return http11.TokenListContains(list, s)
 }
 
 // connectionNominates reports whether the Connection header value list

@@ -193,10 +193,14 @@ func TestPoolDialFailure(t *testing.T) {
 }
 
 // TestPoolLivenessPeek: a pooled connection the backend closed while
-// idle is detected at checkout and replaced by a fresh dial. The strict
-// assertion is Linux-only (MSG_PEEK liveness); elsewhere the stale conn
-// is handed out and the proxy's retry path owns recovery.
+// idle is detected at checkout and replaced by a fresh dial.
 func TestPoolLivenessPeek(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		// Do not let the optimistic stub turn this into a test that
+		// asserts nothing: skip loudly instead of passing silently.
+		t.Skip("checkout liveness needs the Linux MSG_PEEK probe; peek_other.go is optimistic and " +
+			"stale-conn recovery off Linux is covered by TestProxyRecoversFromBackendIdleClose's retry path")
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -224,7 +228,7 @@ func TestPoolLivenessPeek(t *testing.T) {
 	server.Close() // backend hangs up on the idle conn
 	// Wait for the FIN to be observable client-side.
 	deadline := time.Now().Add(2 * time.Second)
-	for a.alive() && time.Now().Before(deadline) && runtime.GOOS == "linux" {
+	for a.alive() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 
@@ -232,13 +236,11 @@ func TestPoolLivenessPeek(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.GOOS == "linux" {
-		if reused || got == a {
-			t.Error("checkout returned the dead pooled conn; the liveness peek missed the close")
-		}
-		if snap := p.counters.Snapshot(); snap.Misses != 2 {
-			t.Errorf("misses = %d, want 2 (dead conn discarded, fresh dial)", snap.Misses)
-		}
+	if reused || got == a {
+		t.Error("checkout returned the dead pooled conn; the liveness peek missed the close")
+	}
+	if snap := p.counters.Snapshot(); snap.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (dead conn discarded, fresh dial)", snap.Misses)
 	}
 	p.put(got, true)
 	p.closeAll()
@@ -249,7 +251,8 @@ func TestPoolLivenessPeek(t *testing.T) {
 // parsed as the next response's head.
 func TestPoolPeekRejectsDirtyConn(t *testing.T) {
 	if runtime.GOOS != "linux" {
-		t.Skip("checkout peek is Linux-only")
+		t.Skip("checkout liveness needs the Linux MSG_PEEK probe; peek_other.go is optimistic, " +
+			"so a dirty conn would be handed out here and only caught by the relay's framing checks")
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -181,6 +181,8 @@ type Proxy struct {
 	cfg      Config
 	backends []backendState
 	workers  []proxyWorker
+	tunnels  atomic.Int64  // 101 upgrades currently being relayed
+	tunneled atomic.Uint64 // 101 upgrades relayed, lifetime
 }
 
 // New creates a Proxy. Wire p.Serve as the httpaff handler and
@@ -229,18 +231,25 @@ type BackendStats struct {
 }
 
 // Stats is a point-in-time view of the proxy: aggregate and per-worker
-// upstream pool counters plus per-backend health.
+// upstream pool counters, per-backend health, and the upgrade-tunnel
+// counters.
 type Stats struct {
 	Pool     stats.PoolSnapshot
 	Workers  []stats.PoolSnapshot
 	Backends []BackendStats
+	// ActiveTunnels is the number of 101 upgrade tunnels relaying right
+	// now (each occupies its worker); Tunneled counts them lifetime.
+	ActiveTunnels int64
+	Tunneled      uint64
 }
 
 // Stats snapshots the proxy's counters.
 func (p *Proxy) Stats() Stats {
 	st := Stats{
-		Workers:  make([]stats.PoolSnapshot, len(p.workers)),
-		Backends: make([]BackendStats, len(p.backends)),
+		Workers:       make([]stats.PoolSnapshot, len(p.workers)),
+		Backends:      make([]BackendStats, len(p.backends)),
+		ActiveTunnels: p.tunnels.Load(),
+		Tunneled:      p.tunneled.Load(),
 	}
 	for i := range p.workers {
 		st.Workers[i] = p.workers[i].pool.counters.Snapshot()
@@ -417,6 +426,12 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 	head = append(head, ctx.URI()...)
 	head = append(head, " HTTP/1.1\r\n"...)
 	reqConn := ctx.Header("connection") // tokens here nominate more hop-by-hop headers
+	// An Upgrade request (Connection: Upgrade + an Upgrade header) asks
+	// this hop to become a dumb pipe: the Upgrade header survives the
+	// hop-by-hop strip and a fresh Connection: Upgrade is emitted, so
+	// the backend sees the same handshake the client sent (RFC 9110
+	// §7.8). A 101 answer then switches the exchange to tunnel relay.
+	isUpgrade := len(ctx.Header("upgrade")) > 0 && tokenListContains(reqConn, "upgrade")
 	for i, n := 0, ctx.HeaderCount(); i < n; i++ {
 		k, v := ctx.HeaderAt(i)
 		// Expect is stripped alongside the hop-by-hop set: httpaff has
@@ -425,7 +440,9 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 		// make the backend emit an interim response the relay refuses.
 		// Headers the client's Connection header nominates are likewise
 		// consumed by this hop (RFC 9110 §7.6.1).
-		if hopByHop(k) || equalFold(k, "expect") ||
+		if isUpgrade && equalFold(k, "upgrade") {
+			// Re-emitted below alongside Connection: Upgrade.
+		} else if hopByHop(k) || equalFold(k, "expect") ||
 			(len(reqConn) > 0 && connectionNominates(reqConn, k)) {
 			continue
 		}
@@ -433,6 +450,9 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 		head = append(head, ": "...)
 		head = append(head, v...)
 		head = append(head, '\r', '\n')
+	}
+	if isUpgrade {
+		head = append(head, "Connection: Upgrade\r\n"...)
 	}
 	head = append(head, '\r', '\n')
 	// Small bodies ride in the head's write so the request goes out in
@@ -509,9 +529,13 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 	// ---- parse framing ----
 	statusLine, rest := nextLine(hbuf[:headerEnd-2])
 	code, upKeepAlive, okLine := parseStatusLine(statusLine)
+	if okLine && code == 101 && isUpgrade {
+		return p.tunnel(ctx, w, uc, b, hbuf[:headerEnd], hbuf[headerEnd:n])
+	}
 	if !okLine || code < 200 {
-		// 1xx interim responses are a feature the proxy neither
-		// requests (no Expect forwarding of its own) nor relays.
+		// 1xx interim responses (and a 101 nobody asked for) are a
+		// feature the proxy neither requests (no Expect forwarding of
+		// its own) nor relays.
 		return p.badGateway(ctx, w, uc, b, "unparseable upstream response")
 	}
 	var contentLength int64 = -1
@@ -640,6 +664,7 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 
 	// Close-delimited body: stream until upstream EOF; the downstream
 	// response is close-delimited too (Connection: close sent above).
+	// (The 101 tunnel takes its own path, in tunnel, before this.)
 	ctx.RawWrite(leftover)
 	for {
 		buf := ctx.RawBuffer(relayChunk)
@@ -658,5 +683,86 @@ func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamCo
 	}
 	w.pool.put(uc, false)
 	p.ok(b)
+	return true, false, nil
+}
+
+// tunnel relays a 101 Switching Protocols exchange: the upgrade head is
+// forwarded verbatim (its Connection/Upgrade headers ARE the payload of
+// the handshake) and from then on the proxy is a dumb pipe between the
+// two sockets. The upstream→downstream direction pumps inline on the
+// worker goroutine — the same worker that owns the client's flow group,
+// so the byte relay inherits the inbound half's core locality — while
+// one auxiliary goroutine pumps downstream→upstream. The tunnel
+// occupies its worker for the connection's lifetime: a proxy expecting
+// many concurrent upgrades should run with correspondingly more
+// workers, or terminate WebSockets at the edge (the wsaff layer)
+// instead of tunneling them.
+func (p *Proxy) tunnel(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamConn, b *backendState, head, leftover []byte) (done, retry bool, ferr error) {
+	ctx.BeginRawResponse()
+	ctx.SetConnectionClose() // this transport never returns to HTTP
+	ctx.RawWrite(head)
+	ctx.RawWrite(leftover) // frames the backend pipelined behind its 101
+	if ctx.RawFlush() != nil {
+		w.pool.put(uc, false)
+		return true, false, nil
+	}
+	p.ok(b)
+	p.tunnels.Add(1)
+	p.tunneled.Add(1)
+	defer p.tunnels.Add(-1)
+
+	down := ctx.NetConn()
+	// The exchange deadline bounded the handshake; the tunnel lives as
+	// long as the application protocol keeps it, and liveness is that
+	// protocol's business (WebSocket ping/pong), not this hop's.
+	uc.c.SetDeadline(time.Time{})
+	down.SetReadDeadline(time.Time{})
+	// Frames the client pipelined behind its upgrade request were
+	// buffered by the HTTP layer; relay them before fresh reads.
+	if res := ctx.Residual(); len(res) > 0 {
+		if _, err := uc.c.Write(res); err != nil {
+			w.pool.put(uc, false)
+			return true, false, nil
+		}
+	}
+
+	pumpDone := make(chan struct{})
+	go func() {
+		// Downstream→upstream. The buffer is per-tunnel (one allocation
+		// per upgrade, amortized over the connection's lifetime) because
+		// this goroutine outlives any worker scratch ownership.
+		defer close(pumpDone)
+		buf := make([]byte, relayChunk)
+		for {
+			n, err := down.Read(buf)
+			if n > 0 {
+				if _, werr := uc.c.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		uc.c.Close() // unblock the inline direction
+	}()
+	// Upstream→downstream, inline on the worker, through its scratch
+	// buffer — the tunnel occupies the worker, so the scratch is free.
+	buf := w.hbuf
+	for {
+		n, err := uc.c.Read(buf)
+		if n > 0 {
+			if _, werr := down.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	down.Close() // unblock the pump
+	uc.c.Close()
+	<-pumpDone
+	w.pool.put(uc, false)
 	return true, false, nil
 }

@@ -1,0 +1,200 @@
+package proxyaff
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"affinityaccept/httpaff"
+	"affinityaccept/wsaff"
+)
+
+// startWSBackend runs a wsaff echo origin and returns its httpaff
+// server.
+func startWSBackend(t *testing.T) *httpaff.Server {
+	t.Helper()
+	ws, err := wsaff.New(wsaff.Config{
+		Workers:   2,
+		OnMessage: func(c *wsaff.Conn, op wsaff.Op, payload []byte) { c.Send(op, payload) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Start()
+	r := httpaff.NewRouter()
+	r.Handle("/ws", func(ctx *httpaff.RequestCtx) { ws.Upgrade(ctx) })
+	s, err := httpaff.New(httpaff.Config{Workers: 2, Handler: r.Serve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ws.Close()
+	})
+	return s
+}
+
+const tunnelTestKey = "dGhlIHNhbXBsZSBub25jZQ=="
+
+// maskFrame builds one masked client text frame (small payloads only).
+func maskFrame(payload string) []byte {
+	key := [4]byte{0xDE, 0xAD, 0xBE, 0xEF}
+	b := []byte{0x81, 0x80 | byte(len(payload)), key[0], key[1], key[2], key[3]}
+	for i := 0; i < len(payload); i++ {
+		b = append(b, payload[i]^key[i&3])
+	}
+	return b
+}
+
+// readServerFrame reads one unmasked small-frame from the server side.
+func readServerFrame(t *testing.T, br *bufio.Reader) (op byte, payload []byte) {
+	t.Helper()
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if hdr[1]&0x80 != 0 || hdr[1]&0x7F > 125 {
+		t.Fatalf("unexpected server frame header % x", hdr)
+	}
+	payload = make([]byte, hdr[1]&0x7F)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		t.Fatal(err)
+	}
+	return hdr[0] & 0x0F, payload
+}
+
+// TestProxyTunnelsWebSocketUpgrade is the end-to-end 101 path: client →
+// proxyaff edge → wsaff backend, with the proxy relaying raw frames in
+// both directions after the handshake.
+func TestProxyTunnelsWebSocketUpgrade(t *testing.T) {
+	backend := startWSBackend(t)
+	p, err := New(Config{Backends: []string{backend.Addr().String()}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := startFront(t, p)
+	conn, br := dialFront(t, front)
+
+	fmt.Fprint(conn, "GET /ws HTTP/1.1\r\nHost: edge\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: "+tunnelTestKey+"\r\nSec-WebSocket-Version: 13\r\n\r\n")
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		t.Fatalf("tunnel status %q: %v", status, err)
+	}
+	headers := make(map[string]string)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		k, v, _ := strings.Cut(line, ":")
+		headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	if !strings.EqualFold(headers["upgrade"], "websocket") {
+		t.Errorf("relayed 101 lost its Upgrade header: %v", headers)
+	}
+	if headers["sec-websocket-accept"] == "" {
+		t.Error("relayed 101 lost the accept key")
+	}
+
+	// Frames flow both ways through the relay.
+	for i := 0; i < 3; i++ {
+		msg := fmt.Sprintf("through the tunnel %d", i)
+		if _, err := conn.Write(maskFrame(msg)); err != nil {
+			t.Fatal(err)
+		}
+		op, payload := readServerFrame(t, br)
+		if op != 1 || string(payload) != msg {
+			t.Fatalf("round %d: op=%d %q", i, op, payload)
+		}
+	}
+	if st := p.Stats(); st.Tunneled != 1 || st.ActiveTunnels != 1 {
+		t.Errorf("tunnel counters = %d active / %d total, want 1/1", st.ActiveTunnels, st.Tunneled)
+	}
+
+	// Client hangup tears the tunnel down end to end.
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().ActiveTunnels != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tunnel never tore down after client close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProxyTunnelRelaysPipelinedClientFrames: frames the client sends
+// in the same segment as its upgrade request are buffered by the HTTP
+// layer and must be relayed to the backend, not lost.
+func TestProxyTunnelRelaysPipelinedClientFrames(t *testing.T) {
+	backend := startWSBackend(t)
+	p, err := New(Config{Backends: []string{backend.Addr().String()}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := startFront(t, p)
+	conn, br := dialFront(t, front)
+
+	blob := []byte("GET /ws HTTP/1.1\r\nHost: edge\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + tunnelTestKey + "\r\nSec-WebSocket-Version: 13\r\n\r\n")
+	blob = append(blob, maskFrame("eager frame")...)
+	if _, err := conn.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		t.Fatalf("status %q: %v", status, err)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimRight(line, "\r\n") == "" {
+			break
+		}
+	}
+	op, payload := readServerFrame(t, br)
+	if op != 1 || string(payload) != "eager frame" {
+		t.Fatalf("pipelined frame echoed as op=%d %q", op, payload)
+	}
+}
+
+// TestProxyUpgradeRefusedStaysHTTP: a backend that answers an upgrade
+// request with a normal response (no 101) keeps the connection in plain
+// HTTP relay — and it remains usable for the next request.
+func TestProxyUpgradeRefusedStaysHTTP(t *testing.T) {
+	origin := startBackend(t, "plain") // no /ws route: answers 404
+	p, err := New(Config{Backends: []string{origin.Addr().String()}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := startFront(t, p)
+	conn, br := dialFront(t, front)
+
+	fmt.Fprint(conn, "GET /ws HTTP/1.1\r\nHost: edge\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: "+tunnelTestKey+"\r\nSec-WebSocket-Version: 13\r\n\r\n")
+	code, _, _ := readResponse(t, br)
+	if code != 404 {
+		t.Fatalf("refused upgrade: %d, want the backend's 404", code)
+	}
+	fmt.Fprint(conn, "GET /whoami HTTP/1.1\r\nHost: edge\r\n\r\n")
+	code, _, body := readResponse(t, br)
+	if code != 200 || string(body) != "plain" {
+		t.Fatalf("follow-up request: %d %q", code, body)
+	}
+	if st := p.Stats(); st.Tunneled != 0 {
+		t.Errorf("refused upgrade counted as a tunnel: %d", st.Tunneled)
+	}
+}

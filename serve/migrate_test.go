@@ -335,12 +335,8 @@ func TestRequeueDuringShutdown(t *testing.T) {
 	}
 	// The connection is now parked server-side, waiting for the next
 	// request that will never come.
-	for deadline := time.Now().Add(5 * time.Second); s.Stats().Requeued == 0; {
-		if time.Now().After(deadline) {
-			t.Fatal("connection never requeued")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.Stats().Requeued > 0 },
+		"connection never requeued")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

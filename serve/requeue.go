@@ -3,6 +3,8 @@ package serve
 import (
 	"net"
 	"sync"
+
+	"affinityaccept/internal/stats"
 )
 
 // parkedConn wraps a requeued keep-alive connection while it waits for
@@ -39,6 +41,21 @@ func (p *parkedConn) Close() error {
 // handler receives the park wrapper instead of the original value.
 func (p *parkedConn) NetConn() net.Conn { return p.Conn }
 
+// InputPending reports whether replayable input — the park wake-up
+// byte, or bytes a lower wrapper buffered — is queued ahead of the
+// transport. Handlers that serve discrete protocol units per pass (the
+// wsaff frame loop) use it to decide between reading and re-parking
+// without risking a blocking read on a connection that sent nothing.
+func (p *parkedConn) InputPending() bool {
+	if p.has {
+		return true
+	}
+	if ip, ok := p.Conn.(interface{ InputPending() bool }); ok {
+		return ip.InputPending()
+	}
+	return false
+}
+
 func (p *parkedConn) Read(b []byte) (int, error) {
 	if p.has {
 		if len(b) == 0 {
@@ -62,6 +79,11 @@ type parkSet struct {
 	conns  map[*parkedConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// parked gauges how many connections are waiting between passes
+	// right now — the held-open population a long-lived workload (the
+	// wsaff layer's mostly-idle sockets) keeps against the server.
+	parked stats.Gauge
 }
 
 func newParkSet() *parkSet {
@@ -79,6 +101,7 @@ func (ps *parkSet) add(p *parkedConn) bool {
 	}
 	ps.conns[p] = struct{}{}
 	ps.wg.Add(1)
+	ps.parked.Inc()
 	return true
 }
 
@@ -88,6 +111,7 @@ func (ps *parkSet) remove(p *parkedConn) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	delete(ps.conns, p)
+	ps.parked.Dec()
 }
 
 func (ps *parkSet) done() { ps.wg.Done() }

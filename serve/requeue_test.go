@@ -86,13 +86,8 @@ func TestRequeueConcurrentWithShutdown(t *testing.T) {
 
 	// Let traffic flow so parks and requeues are genuinely in flight,
 	// then shut down while the clients are still writing.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().Requeued < conns {
-		if time.Now().After(deadline) {
-			t.Fatal("requeue traffic never started")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.Stats().Requeued >= conns },
+		"requeue traffic never started")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

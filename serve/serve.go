@@ -275,6 +275,12 @@ func (s *Server) FlowGroups() int { return s.flow.Groups() }
 // routed to right now.
 func (s *Server) OwnerOf(remotePort uint16) int { return s.flow.CoreForPort(remotePort) }
 
+// Parked reports how many requeued connections are currently waiting
+// for their next request byte. Long-lived-workload drivers use it to
+// confirm a held-open population really is parked (costing no worker)
+// rather than queued or in-flight.
+func (s *Server) Parked() int64 { return s.parked.parked.Load() }
+
 // Start launches the acceptor, worker and migration goroutines. It
 // returns immediately; use Shutdown to stop.
 func (s *Server) Start() {
@@ -325,7 +331,18 @@ func (s *Server) acceptLoop(l net.Listener) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return // listener closed (Shutdown) or fatal
+			if errors.Is(err, net.ErrClosed) {
+				return // Shutdown closed the listener
+			}
+			// Transient accept failure — EMFILE/ENFILE when a large
+			// held-open population grazes the descriptor limit,
+			// ECONNABORTED on a client that gave up in the queue. A
+			// production listener must not die for these: back off a
+			// beat (which also lets closes release descriptors) and
+			// keep accepting. A closed listener surfaces as ErrClosed
+			// on the next iteration.
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		worker := s.route(conn)
 		s.workers[worker].accepted.Add(1)
@@ -488,6 +505,7 @@ func (s *Server) Stats() Stats {
 		ServedStolen: steals,
 		Dropped:      drops,
 		Requeued:     s.requeued.Load(),
+		Parked:       s.parked.parked.Load(),
 		Migrations:   s.flow.Migrations(),
 		Workers:      make([]WorkerStats, s.cfg.Workers),
 	}

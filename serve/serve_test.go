@@ -10,12 +10,21 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"affinityaccept/internal/testutil"
 )
 
 // echoHandler echoes until client EOF, then closes.
 func echoHandler(conn net.Conn) {
 	io.Copy(conn, conn)
 	conn.Close()
+}
+
+// waitFor is testutil.WaitFor: poll instead of sleep in
+// timing-sensitive tests.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	testutil.WaitFor(t, d, cond, msg)
 }
 
 // dialEcho opens one connection, round-trips one message and closes.
@@ -192,16 +201,8 @@ func TestShutdownDrainsQueued(t *testing.T) {
 		close(clients)
 	}()
 	// Wait until everything is accepted and queued behind the gate.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if st := s.Stats(); st.Accepted == total {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d accepted", s.Stats().Accepted, total)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, func() bool { return s.Stats().Accepted == total },
+		"burst never fully accepted")
 
 	shutErr := make(chan error, 1)
 	go func() {
@@ -209,7 +210,11 @@ func TestShutdownDrainsQueued(t *testing.T) {
 		defer cancel()
 		shutErr <- s.Shutdown(ctx)
 	}()
-	time.Sleep(20 * time.Millisecond) // let Shutdown close the listeners
+	// Open the gate only once Shutdown has closed the listeners and
+	// reached its drain phase, so the assertion below proves that
+	// already-queued connections are served during the drain.
+	waitFor(t, 10*time.Second, func() bool { return s.draining.Load() },
+		"Shutdown never reached the drain phase")
 	close(gate)
 
 	if err := <-shutErr; err != nil {
@@ -251,10 +256,8 @@ func TestShutdownDeadlineForcesClose(t *testing.T) {
 			io.ReadAll(conn) // returns once the server force-closes
 		}(conn)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().Accepted < 8 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.Stats().Accepted >= 8 },
+		"connections never accepted")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
 	defer cancel()

@@ -64,6 +64,11 @@ type Stats struct {
 	// applied §3.3.2 flow-group migrations.
 	Requeued   uint64
 	Migrations uint64
+	// Parked is the instantaneous number of connections waiting between
+	// requeue passes — the held-open population of a long-lived
+	// workload. Each costs one blocked parker goroutine and no worker
+	// capacity.
+	Parked int64
 	// Pool aggregates the per-worker object-pool counters (zero unless
 	// Config.WorkerPool is set).
 	Pool PoolStats
@@ -104,8 +109,8 @@ func (s Stats) String() string {
 		mode = "SO_REUSEPORT per-worker listeners"
 	}
 	fmt.Fprintf(&b, "mode: %s, %d flow groups\n", mode, s.FlowGroups)
-	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  requeued %d  migrations %d  queued %d  active %d\n",
-		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Requeued, s.Migrations, s.Queued, s.Active)
+	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  requeued %d  parked %d  migrations %d  queued %d  active %d\n",
+		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Requeued, s.Parked, s.Migrations, s.Queued, s.Active)
 	pools := s.Pool.Gets() > 0
 	if pools {
 		fmt.Fprintf(&b, "pools: %d gets, %.1f%% reused from the worker-local free list (%d misses, %d drops)\n",

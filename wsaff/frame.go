@@ -1,0 +1,225 @@
+package wsaff
+
+import (
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+)
+
+// Op is a WebSocket frame opcode (RFC 6455 §5.2).
+type Op byte
+
+const (
+	OpContinuation Op = 0x0
+	OpText         Op = 0x1
+	OpBinary       Op = 0x2
+	OpClose        Op = 0x8
+	OpPing         Op = 0x9
+	OpPong         Op = 0xA
+)
+
+// IsControl reports whether the opcode is a control frame (§5.5):
+// interleavable anywhere, never fragmented, payload at most 125 bytes.
+func (op Op) IsControl() bool { return op >= OpClose }
+
+// Close status codes (§7.4.1) the subsystem sends or synthesizes.
+const (
+	CloseNormal        uint16 = 1000
+	CloseGoingAway     uint16 = 1001
+	CloseProtocolError uint16 = 1002
+	CloseNoStatus      uint16 = 1005 // synthesized: close frame without a code
+	CloseAbnormal      uint16 = 1006 // synthesized: transport died, no close frame
+	CloseTooBig        uint16 = 1009
+)
+
+// Frame-codec protocol violations. Every one of these costs the peer a
+// 1002/1009 close: after any of them the byte stream can no longer be
+// trusted to resynchronize on a frame boundary.
+var (
+	errRSVBits         = errors.New("wsaff: nonzero RSV bits without a negotiated extension")
+	errReservedOpcode  = errors.New("wsaff: reserved opcode")
+	errUnmaskedClient  = errors.New("wsaff: client frame not masked")
+	errControlTooLong  = errors.New("wsaff: control frame payload exceeds 125 bytes")
+	errControlFragment = errors.New("wsaff: fragmented control frame")
+	errNonMinimalLen   = errors.New("wsaff: non-minimal payload length encoding")
+	errLengthOverflow  = errors.New("wsaff: 64-bit payload length has the high bit set")
+)
+
+// maxHeaderBytes is the largest wire header: 2 fixed bytes, 8 extended
+// length bytes, 4 masking-key bytes.
+const maxHeaderBytes = 14
+
+// header is one decoded frame header. The payload follows the header on
+// the wire; masked payloads are unmasked in place by the caller.
+type header struct {
+	fin    bool
+	op     Op
+	masked bool
+	length int64
+	key    [4]byte
+}
+
+// decodeHeader parses one frame header from the front of b.
+//
+//	n > 0:  a complete header occupying b[:n]; the payload is the
+//	        h.length bytes that follow.
+//	n == 0: b is a prefix of a valid header — read more bytes.
+//	err:    protocol violation; the connection must close (1002).
+//
+// Validation beyond shape: RSV bits must be zero (no extensions are
+// negotiated), reserved opcodes are rejected, control frames must be
+// unfragmented with a ≤125-byte payload, and extended lengths must use
+// the minimal encoding (§5.2's MUST, and a fuzzing invariant: every
+// valid frame has exactly one encoding).
+func decodeHeader(b []byte) (h header, n int, err error) {
+	if len(b) < 2 {
+		return h, 0, nil
+	}
+	b0, b1 := b[0], b[1]
+	if b0&0x70 != 0 {
+		return h, 0, errRSVBits
+	}
+	h.fin = b0&0x80 != 0
+	h.op = Op(b0 & 0x0F)
+	if (h.op > OpBinary && h.op < OpClose) || h.op > OpPong {
+		return h, 0, errReservedOpcode
+	}
+	h.masked = b1&0x80 != 0
+	ln := int64(b1 & 0x7F)
+	n = 2
+	switch ln {
+	case 126:
+		if len(b) < n+2 {
+			return h, 0, nil
+		}
+		ln = int64(binary.BigEndian.Uint16(b[n:]))
+		if ln < 126 {
+			return h, 0, errNonMinimalLen
+		}
+		n += 2
+	case 127:
+		if len(b) < n+8 {
+			return h, 0, nil
+		}
+		u := binary.BigEndian.Uint64(b[n:])
+		if u&(1<<63) != 0 {
+			return h, 0, errLengthOverflow
+		}
+		if u < 1<<16 {
+			return h, 0, errNonMinimalLen
+		}
+		ln = int64(u)
+		n += 8
+	}
+	if h.op.IsControl() {
+		if !h.fin {
+			return h, 0, errControlFragment
+		}
+		if ln > 125 {
+			return h, 0, errControlTooLong
+		}
+	}
+	h.length = ln
+	if h.masked {
+		if len(b) < n+4 {
+			return h, 0, nil
+		}
+		copy(h.key[:], b[n:n+4])
+		n += 4
+	}
+	return h, n, nil
+}
+
+// unmask XORs the masking key over b in place (§5.3). off is the
+// payload offset b starts at, for unmasking a payload in chunks; it
+// returns off advanced past b.
+func unmask(key [4]byte, off int, b []byte) int {
+	for i := range b {
+		b[i] ^= key[off&3]
+		off++
+	}
+	return off
+}
+
+// appendHeader appends a server-to-client frame header (never masked,
+// §5.1) for a payload of n bytes.
+func appendHeader(dst []byte, fin bool, op Op, n int) []byte {
+	b0 := byte(op)
+	if fin {
+		b0 |= 0x80
+	}
+	switch {
+	case n <= 125:
+		return append(dst, b0, byte(n))
+	case n <= 1<<16-1:
+		return append(dst, b0, 126, byte(n>>8), byte(n))
+	default:
+		return append(dst, b0, 127,
+			byte(uint64(n)>>56), byte(uint64(n)>>48), byte(uint64(n)>>40), byte(uint64(n)>>32),
+			byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+}
+
+// appendFrame appends one complete unfragmented server frame.
+func appendFrame(dst []byte, op Op, payload []byte) []byte {
+	dst = appendHeader(dst, true, op, len(payload))
+	return append(dst, payload...)
+}
+
+// appendClose appends a close frame carrying code and reason; the
+// synthesized codes 1005/1006 must not go on the wire (§7.4.1) and
+// produce an empty close payload instead.
+func appendClose(dst []byte, code uint16, reason string) []byte {
+	if code == CloseNoStatus || code == CloseAbnormal {
+		return appendHeader(dst, true, OpClose, 0)
+	}
+	if len(reason) > 123 {
+		reason = reason[:123]
+	}
+	dst = appendHeader(dst, true, OpClose, 2+len(reason))
+	dst = append(dst, byte(code>>8), byte(code))
+	return append(dst, reason...)
+}
+
+// appendMaskedFrame appends one complete client-to-server frame,
+// masking a copy of the payload with key. The test and benchmark
+// clients use it; servers never mask.
+func appendMaskedFrame(dst []byte, fin bool, op Op, key [4]byte, payload []byte) []byte {
+	b0 := byte(op)
+	if fin {
+		b0 |= 0x80
+	}
+	n := len(payload)
+	switch {
+	case n <= 125:
+		dst = append(dst, b0, 0x80|byte(n))
+	case n <= 1<<16-1:
+		dst = append(dst, b0, 0x80|126, byte(n>>8), byte(n))
+	default:
+		dst = append(dst, b0, 0x80|127,
+			byte(uint64(n)>>56), byte(uint64(n)>>48), byte(uint64(n)>>40), byte(uint64(n)>>32),
+			byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	dst = append(dst, key[:]...)
+	start := len(dst)
+	dst = append(dst, payload...)
+	unmask(key, 0, dst[start:])
+	return dst
+}
+
+// wsGUID is the protocol's fixed handshake GUID (§1.3).
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// appendAcceptKey appends the Sec-WebSocket-Accept value for a
+// Sec-WebSocket-Key: base64(SHA-1(key + GUID)). Handshakes run once
+// per connection, so the hash state allocating is fine.
+func appendAcceptKey(dst, key []byte) []byte {
+	h := sha1.New()
+	h.Write(key)
+	h.Write([]byte(wsGUID))
+	var sum [sha1.Size]byte
+	var enc [28]byte
+	base64.StdEncoding.Encode(enc[:], h.Sum(sum[:0]))
+	return append(dst, enc[:]...)
+}

@@ -1,0 +1,126 @@
+package wsaff
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDecodeHeaderRoundTrip(t *testing.T) {
+	payloads := []int{0, 1, 125, 126, 127, 1 << 10, 1<<16 - 1, 1 << 16, 1 << 20}
+	for _, n := range payloads {
+		for _, fin := range []bool{true, false} {
+			for _, op := range []Op{OpText, OpBinary, OpContinuation} {
+				if !fin && op == OpContinuation && n == 0 {
+					continue // still legal; just avoid duplicating cases
+				}
+				b := appendHeader(nil, fin, op, n)
+				h, hn, err := decodeHeader(b)
+				if err != nil {
+					t.Fatalf("n=%d fin=%v op=%d: %v", n, fin, op, err)
+				}
+				if hn != len(b) {
+					t.Fatalf("n=%d: header len %d, want %d", n, hn, len(b))
+				}
+				if h.fin != fin || h.op != op || h.length != int64(n) || h.masked {
+					t.Fatalf("n=%d fin=%v op=%d: decoded %+v", n, fin, op, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeMaskedRoundTrip(t *testing.T) {
+	key := [4]byte{0xA1, 0xB2, 0xC3, 0xD4}
+	payload := []byte("masked payload, longer than four bytes")
+	b := appendMaskedFrame(nil, true, OpBinary, key, payload)
+	h, hn, err := decodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.masked || h.key != key || h.length != int64(len(payload)) {
+		t.Fatalf("decoded %+v", h)
+	}
+	got := append([]byte(nil), b[hn:hn+int(h.length)]...)
+	unmask(h.key, 0, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("unmasked %q, want %q", got, payload)
+	}
+	// Chunked unmasking must agree with one-shot unmasking.
+	got2 := append([]byte(nil), b[hn:hn+int(h.length)]...)
+	off := 0
+	for i := 0; i < len(got2); i += 7 {
+		end := min(i+7, len(got2))
+		off = unmask(h.key, off, got2[i:end])
+	}
+	if !bytes.Equal(got2, payload) {
+		t.Fatalf("chunked unmask %q, want %q", got2, payload)
+	}
+}
+
+func TestDecodeHeaderIncomplete(t *testing.T) {
+	full := appendMaskedFrame(nil, true, OpText, [4]byte{1, 2, 3, 4}, bytes.Repeat([]byte("x"), 300))
+	for i := 0; i < 8; i++ { // all prefixes short of the 8-byte header
+		if _, n, err := decodeHeader(full[:i]); n != 0 || err != nil {
+			t.Fatalf("prefix %d: n=%d err=%v, want incomplete", i, n, err)
+		}
+	}
+}
+
+func TestDecodeHeaderViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"rsv1", []byte{0xC1, 0x80, 0, 0, 0, 0}, errRSVBits},
+		{"reserved data opcode", []byte{0x83, 0x80, 0, 0, 0, 0}, errReservedOpcode},
+		{"reserved control opcode", []byte{0x8B, 0x80, 0, 0, 0, 0}, errReservedOpcode},
+		{"fragmented ping", []byte{0x09, 0x80, 0, 0, 0, 0}, errControlFragment},
+		{"overlong close", []byte{0x88, 0x80 | 126, 0x00, 0x80, 0, 0, 0, 0}, errControlTooLong},
+		{"non-minimal 16-bit", []byte{0x82, 0x80 | 126, 0x00, 0x05, 0, 0, 0, 0}, errNonMinimalLen},
+		{"non-minimal 64-bit", append([]byte{0x82, 0x80 | 127}, 0, 0, 0, 0, 0, 0, 0x01, 0x00, 0, 0, 0, 0), errNonMinimalLen},
+		{"64-bit high bit", append([]byte{0x82, 0x80 | 127}, 0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), errLengthOverflow},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := decodeHeader(tc.b); err != tc.want {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendClose(t *testing.T) {
+	b := appendClose(nil, CloseNormal, "bye")
+	h, hn, err := decodeHeader(b)
+	if err != nil || h.op != OpClose || h.length != 5 {
+		t.Fatalf("h=%+v hn=%d err=%v", h, hn, err)
+	}
+	if code := uint16(b[hn])<<8 | uint16(b[hn+1]); code != CloseNormal {
+		t.Fatalf("code %d", code)
+	}
+	if string(b[hn+2:]) != "bye" {
+		t.Fatalf("reason %q", b[hn+2:])
+	}
+	// Synthesized codes must not go on the wire.
+	for _, code := range []uint16{CloseNoStatus, CloseAbnormal} {
+		b := appendClose(nil, code, "ignored")
+		if h, _, _ := decodeHeader(b); h.length != 0 {
+			t.Fatalf("code %d produced a %d-byte close payload", code, h.length)
+		}
+	}
+	// Overlong reasons are truncated to fit a control frame.
+	long := string(bytes.Repeat([]byte("r"), 200))
+	b = appendClose(nil, CloseProtocolError, long)
+	if h, _, err := decodeHeader(b); err != nil || h.length != 125 {
+		t.Fatalf("overlong reason: %+v %v", h, err)
+	}
+}
+
+func TestAcceptKey(t *testing.T) {
+	// The RFC 6455 §1.3 worked example.
+	got := appendAcceptKey(nil, []byte("dGhlIHNhbXBsZSBub25jZQ=="))
+	if string(got) != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("accept key %q", got)
+	}
+}

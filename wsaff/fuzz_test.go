@@ -1,0 +1,131 @@
+package wsaff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// reencodeHeader rebuilds the wire bytes a decoded header must have
+// come from. Because decodeHeader enforces minimal length encoding,
+// every valid header has exactly one encoding — which makes exact
+// re-encoding a fuzzable invariant.
+func reencodeHeader(h header) []byte {
+	b0 := byte(h.op)
+	if h.fin {
+		b0 |= 0x80
+	}
+	var mask byte
+	if h.masked {
+		mask = 0x80
+	}
+	n := h.length
+	var b []byte
+	switch {
+	case n <= 125:
+		b = []byte{b0, mask | byte(n)}
+	case n <= 1<<16-1:
+		b = []byte{b0, mask | 126, byte(n >> 8), byte(n)}
+	default:
+		b = []byte{b0, mask | 127,
+			byte(uint64(n) >> 56), byte(uint64(n) >> 48), byte(uint64(n) >> 40), byte(uint64(n) >> 32),
+			byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	}
+	if h.masked {
+		b = append(b, h.key[:]...)
+	}
+	return b
+}
+
+// FuzzDecodeHeader fuzzes the frame-header decoder directly. The
+// contract:
+//
+//   - never panic;
+//   - n is 0 (incomplete) or the exact header length, never past the
+//     input or the 14-byte maximum;
+//   - a decoded header re-encodes to exactly the bytes it was decoded
+//     from (unique encoding — this is what the minimal-length rule
+//     buys);
+//   - every prefix of a valid header reports incomplete, not an error
+//     (a frame split across TCP segments must never be misjudged).
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte{0x81, 0x85, 1, 2, 3, 4, 'h', 'e', 'l', 'l', 'o'})
+	f.Add(appendMaskedFrame(nil, true, OpBinary, [4]byte{9, 8, 7, 6}, bytes.Repeat([]byte("x"), 300)))
+	f.Add(appendMaskedFrame(nil, false, OpText, [4]byte{1, 1, 1, 1}, []byte("frag")))
+	f.Add(appendMaskedFrame(nil, true, OpContinuation, [4]byte{2, 2, 2, 2}, []byte("end")))
+	f.Add(appendFrame(nil, OpPong, nil))
+	f.Add(appendClose(nil, CloseNormal, "bye"))
+	f.Add([]byte{0x88, 0x80, 0, 0, 0, 0})
+	f.Add([]byte{0xC1, 0x80})             // RSV bits
+	f.Add([]byte{0x83, 0x80})             // reserved opcode
+	f.Add([]byte{0x09, 0x80})             // fragmented ping
+	f.Add([]byte{0x82, 0x80 | 126, 0, 5}) // non-minimal 16-bit length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, n, err := decodeHeader(data)
+		if err != nil {
+			return // rejected: nothing more to hold it to
+		}
+		if n == 0 {
+			return // incomplete prefix
+		}
+		if n > len(data) || n > maxHeaderBytes {
+			t.Fatalf("header length %d beyond input %d / max %d", n, len(data), maxHeaderBytes)
+		}
+		if h.length < 0 {
+			t.Fatalf("negative payload length %d", h.length)
+		}
+		if h.op.IsControl() && (h.length > 125 || !h.fin) {
+			t.Fatalf("control-frame rules not enforced: %+v", h)
+		}
+		if got := reencodeHeader(h); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("header does not re-encode to its wire bytes: % x -> %+v -> % x", data[:n], h, got)
+		}
+		for i := 0; i < n; i++ {
+			if _, pn, perr := decodeHeader(data[:i]); perr != nil || pn != 0 {
+				t.Fatalf("prefix %d of a valid header misjudged: n=%d err=%v", i, pn, perr)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrameStream drives the decoder the way the pass loop does:
+// consume frames front to back. The invariant under fuzzing is forward
+// progress — every complete frame advances the cursor, so the frame
+// loop can never spin on hostile bytes — plus total consumption never
+// passing the buffer.
+func FuzzDecodeFrameStream(f *testing.F) {
+	var stream []byte
+	key := [4]byte{0xAA, 0xBB, 0xCC, 0xDD}
+	stream = appendMaskedFrame(stream, false, OpText, key, []byte("first "))
+	stream = appendMaskedFrame(stream, true, OpPing, key, []byte("mid"))
+	stream = appendMaskedFrame(stream, true, OpContinuation, key, []byte("second"))
+	f.Add(stream)
+	f.Add(appendMaskedFrame(nil, true, OpClose, key, []byte{0x03, 0xE8}))
+	f.Add([]byte{0x81})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		for i := 0; i < len(data)+1; i++ { // bounded: progress must end the walk first
+			h, n, err := decodeHeader(data[pos:])
+			if err != nil || n == 0 {
+				return // protocol error or incomplete: the pass stops reading here
+			}
+			total := n + int(h.length)
+			if total <= 0 {
+				t.Fatalf("frame at %d consumes %d bytes: no forward progress", pos, total)
+			}
+			if pos+total > len(data) {
+				return // frame extends past the buffer: the pass would read more
+			}
+			if h.masked {
+				// Unmasking must stay in bounds and be an involution.
+				payload := append([]byte(nil), data[pos+n:pos+total]...)
+				unmask(h.key, 0, payload)
+				unmask(h.key, 0, payload)
+				if !bytes.Equal(payload, data[pos+n:pos+total]) {
+					t.Fatal("unmask is not an involution")
+				}
+			}
+			pos += total
+		}
+		t.Fatalf("frame walk did not terminate over %d bytes", len(data))
+	})
+}
