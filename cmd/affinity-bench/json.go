@@ -62,6 +62,26 @@ type benchReport struct {
 	WSDelivered  uint64 `json:"wsDelivered,omitempty"`
 	WSReceived   uint64 `json:"wsReceived,omitempty"`
 
+	// Admission-control counters (-hostile scenarios only). The server
+	// side: accept-time rate limiting, budget shedding, header-deadline
+	// cuts, 503 backpressure. The attacker side: what the hostile
+	// clients observed from outside.
+	Ratelimited    uint64 `json:"ratelimited,omitempty"`
+	ShedParked     uint64 `json:"shedParked,omitempty"`
+	BudgetRejected uint64 `json:"budgetRejected,omitempty"`
+	AcceptRetries  uint64 `json:"acceptRetries,omitempty"`
+	HeaderTimeouts uint64 `json:"headerTimeouts,omitempty"`
+	HeaderSheds    uint64 `json:"headerSheds,omitempty"`
+	OverloadSheds  uint64 `json:"overloadSheds,omitempty"`
+	LivePeak       int64  `json:"livePeak,omitempty"`
+	MaxConns       int    `json:"maxConns,omitempty"`
+	SlowClients    int    `json:"slowClients,omitempty"`
+	SlowClosed     uint64 `json:"slowClosed,omitempty"`
+	FloodClients   int    `json:"floodClients,omitempty"`
+	FloodAttempts  uint64 `json:"floodAttempts,omitempty"`
+	FloodServed    uint64 `json:"floodServed,omitempty"`
+	FloodRefused   uint64 `json:"floodRefused,omitempty"`
+
 	// Environment metadata.
 	GoVersion  string `json:"goVersion"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

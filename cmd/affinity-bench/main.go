@@ -27,6 +27,10 @@
 //	affinity-bench -ws -clients 16 -held 1000            # plus 1000 idle held-open sockets
 //	affinity-bench -ws -broadcast-every 50ms             # plus broadcast fan-out load
 //	affinity-bench -ws -migrate=false                    # without §3.3.2 migration
+//
+//	affinity-bench -hostile                # admission control under attack:
+//	                                       # normal clients + slowloris + floods
+//	affinity-bench -hostile -slowloris 16 -floods 8      # heavier attack
 package main
 
 import (
@@ -63,6 +67,14 @@ func main() {
 		nBackends = flag.Int("backends", 2, "in-process backend servers in -proxy mode")
 		pinned    = flag.Bool("pinned", true, "worker-pinned backend selection in -proxy mode (false = round-robin)")
 
+		hostileMode = flag.Bool("hostile", false, "benchmark admission control: the -http workload plus slowloris and per-IP flood attackers against a hardened server")
+		slowloris   = flag.Int("slowloris", 8, "header-dripping attacker connections in -hostile mode")
+		floods      = flag.Int("floods", 3, "per-IP connect-flood attackers in -hostile mode")
+		ipRate      = flag.Float64("ip-rate", 5, "per-IP accept rate (conns/sec per bucket) in -hostile mode")
+		ipBurst     = flag.Int("ip-burst", 0, "per-IP accept burst in -hostile mode (0 = 2x -clients)")
+		maxConns    = flag.Int("maxconns", 256, "transport connection budget in -hostile mode")
+		headerTO    = flag.Duration("header-timeout", 500*time.Millisecond, "header read deadline in -hostile mode")
+
 		wsMode    = flag.Bool("ws", false, "benchmark the wsaff WebSocket layer: skewed long-lived echo connections, optional held-open and broadcast load")
 		held      = flag.Int("held", 0, "held-open idle subscribed WebSocket connections in -ws mode")
 		broadcast = flag.Duration("broadcast-every", 0, "publish a broadcast at this period in -ws mode (0 = off)")
@@ -75,6 +87,39 @@ func main() {
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 	)
 	flag.Parse()
+
+	if *hostileMode {
+		burst := *ipBurst
+		if burst <= 0 {
+			burst = 2 * *clients
+		}
+		err := runHostileBench(hostileOpts{
+			httpOpts: httpOpts{
+				addr:         *addr,
+				workers:      *workers,
+				clients:      *clients,
+				pipeline:     *pipeline,
+				payload:      *payload,
+				duration:     *duration,
+				noShard:      *noShard,
+				migrate:      *migrate,
+				migrateEvery: *migrateEvery,
+				groups:       *groups,
+				jsonPath:     *jsonPath,
+			},
+			slowloris: *slowloris,
+			floods:    *floods,
+			ipRate:    *ipRate,
+			ipBurst:   burst,
+			maxConns:  *maxConns,
+			headerTO:  *headerTO,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wsMode {
 		err := runWSBench(wsOpts{

@@ -76,6 +76,11 @@ type RequestCtx struct {
 	// hijack, set by Hijack, is the takeover that replaces HTTP serving
 	// on this connection once the current response has flushed.
 	hijack TakeoverFunc
+
+	// headerSlot is true while this pass holds one of the server's
+	// MaxInflightHeaders slots (a fresh connection's first head read);
+	// servePass releases it as soon as that read returns.
+	headerSlot bool
 }
 
 func (ctx *RequestCtx) begin(nc net.Conn, c *conn, worker int) {
@@ -89,6 +94,7 @@ func (ctx *RequestCtx) end() {
 	ctx.req.reset()
 	ctx.resp.reset()
 	ctx.hijack = nil
+	ctx.headerSlot = false
 }
 
 // buffered reports how many unconsumed request bytes are sitting in the
@@ -271,6 +277,22 @@ func (ctx *RequestCtx) RawFlush() error { return ctx.flush() }
 // hijacks (the takeover serves all future passes, parking through the
 // same flow-table Requeue path as keep-alive HTTP — the wsaff layer) or
 // pumps the connection inline to completion (the proxyaff tunnel).
+
+// Server returns the Server serving this request — for handlers and
+// sibling layers (the proxyaff tunnel) that need server-wide facilities
+// such as the transport's connection budget.
+func (ctx *RequestCtx) Server() *Server { return ctx.srv }
+
+// NotifyParkClose registers fn to run when the serve layer closes this
+// connection while it is parked between passes — shed LIFO under
+// descriptor or budget pressure, peer vanished mid-park, or shutdown
+// swept the parked population. fn runs once, on the closing goroutine
+// (a parker or an acceptor), and must not block. Layers that register
+// parked connections in their own indexes (wsaff's shards) use it to
+// unregister immediately instead of waiting for a keep-alive probe to
+// find the corpse. It is not called when the handler side closes the
+// connection itself.
+func (ctx *RequestCtx) NotifyParkClose(fn func()) { ctx.state.onParkClose = fn }
 
 // Hijack switches the connection to takeover mode: after the current
 // handler returns and its response (serialized by the handler in raw

@@ -88,6 +88,36 @@ type Config struct {
 	// connection stalled mid-request is idle capacity too, and workers
 	// serve one connection at a time).
 	ReadTimeout time.Duration
+	// HeaderTimeout bounds reading one request's head — request line
+	// plus headers — separately from the body reads (which stay under
+	// ReadTimeout). This is the slowloris defense: a client dripping
+	// header bytes holds its worker captive at most this long, however
+	// slowly it feeds the socket, because the deadline is absolute from
+	// the first blocking head read and is not extended per byte.
+	// 0 = fall back to ReadTimeout, then IdleTimeout.
+	HeaderTimeout time.Duration
+
+	// MaxInflightHeaders, when positive, caps how many workers may
+	// simultaneously be blocked reading a *fresh* connection's first
+	// request head. Workers serve one connection at a time, so each
+	// slow first read holds a whole worker; a cap below Workers
+	// reserves the remainder for connections that have already proved
+	// themselves (keep-alive passes are exempt). Fresh connections over
+	// the cap get an immediate 503 with Retry-After and are closed
+	// before any worker blocks for them. 0 = no cap.
+	MaxInflightHeaders int
+
+	// ShedOnOverload answers fresh connections 503-with-Retry-After
+	// while every worker is over its §3.3.1 busy watermark, instead of
+	// queueing them behind work the server is already failing to keep
+	// up with. Established keep-alive connections are exempt: overload
+	// backpressure sheds newcomers, never the flows whose locality the
+	// server has been curating.
+	ShedOnOverload bool
+
+	// RetryAfter is the Retry-After delay advertised in shed 503
+	// responses, rounded up to whole seconds (default 1s).
+	RetryAfter time.Duration
 
 	// MaxPooledPerWorker caps each worker arena's free list (default
 	// 32); contexts released beyond the cap are dropped to the GC.
@@ -100,8 +130,9 @@ type Config struct {
 	WorkerUpstream func(worker int) serve.PoolStats
 
 	// The remaining fields pass straight through to serve.Config:
-	// queueing, stealing and migration behave exactly as for a raw TCP
-	// server.
+	// queueing, stealing, migration and transport-level admission
+	// (per-IP accept rate limiting, the connection budget with LIFO
+	// parked shedding) behave exactly as for a raw TCP server.
 	Backlog          int
 	StealRatio       int
 	HighPct, LowPct  float64
@@ -109,6 +140,9 @@ type Config struct {
 	FlowGroups       int
 	MigrateInterval  time.Duration
 	DisableMigration bool
+	MaxConns         int
+	PerIPAcceptRate  float64
+	PerIPAcceptBurst int
 }
 
 func (c *Config) fill() error {
@@ -136,8 +170,12 @@ func (c *Config) fill() error {
 	if c.MaxPooledPerWorker <= 0 {
 		c.MaxPooledPerWorker = 32
 	}
-	if c.MaxRequestsPerConn < 0 || c.IdleTimeout < 0 || c.ReadTimeout < 0 {
+	if c.MaxRequestsPerConn < 0 || c.IdleTimeout < 0 || c.ReadTimeout < 0 ||
+		c.HeaderTimeout < 0 || c.MaxInflightHeaders < 0 || c.RetryAfter < 0 {
 		return errors.New("httpaff: limits must be non-negative")
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
 	}
 	return nil
 }
@@ -161,6 +199,27 @@ type Server struct {
 	// second so responses never format time on the hot path.
 	date     atomic.Pointer[[]byte]
 	stopDate chan struct{}
+
+	// shed503 is the complete, pre-serialized 503-with-Retry-After
+	// response admission sheds write: built once at New so the shed
+	// path — which exists to protect an overloaded server — costs one
+	// raw write and no allocation, no arena, no serializer.
+	shed503 []byte
+
+	// inflightHeaders gauges workers currently blocked reading a fresh
+	// connection's first request head (MaxInflightHeaders > 0 only);
+	// admitw holds the per-worker admission counters.
+	inflightHeaders atomic.Int64
+	admitw          []admitCounters
+}
+
+// admitCounters is one worker's admission-policy counters, updated only
+// from that worker's goroutine (atomics so Admission can read them from
+// anywhere, matching the arena counters' discipline).
+type admitCounters struct {
+	headerTimeouts atomic.Uint64 // request heads that hit their read deadline
+	headerSheds    atomic.Uint64 // fresh conns 503'd over MaxInflightHeaders
+	overloadSheds  atomic.Uint64 // fresh conns 503'd while all workers busy
 }
 
 // New creates a Server and binds its listeners; call Start to begin
@@ -169,12 +228,17 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	retry := int((cfg.RetryAfter + time.Second - 1) / time.Second)
 	s := &Server{
 		cfg:      cfg,
 		handler:  cfg.Handler,
 		name:     []byte(cfg.ServerName),
 		arenas:   make([]*arena, cfg.Workers),
 		stopDate: make(chan struct{}),
+		admitw:   make([]admitCounters, cfg.Workers),
+		shed503: []byte(fmt.Sprintf(
+			"HTTP/1.1 503 Service Unavailable\r\nServer: %s\r\nRetry-After: %d\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+			cfg.ServerName, retry)),
 	}
 	for i := range s.arenas {
 		s.arenas[i] = &arena{s: s}
@@ -193,6 +257,9 @@ func New(cfg Config) (*Server, error) {
 		FlowGroups:       cfg.FlowGroups,
 		MigrateInterval:  cfg.MigrateInterval,
 		DisableMigration: cfg.DisableMigration,
+		MaxConns:         cfg.MaxConns,
+		PerIPAcceptRate:  cfg.PerIPAcceptRate,
+		PerIPAcceptBurst: cfg.PerIPAcceptBurst,
 		WorkerPool: func(worker int) serve.PoolStats {
 			return s.arenas[worker].counters.Snapshot()
 		},
@@ -301,6 +368,22 @@ type conn struct {
 	// upgrade request and must replay before the transport's.
 	takeover TakeoverFunc
 	residual []byte
+
+	// onParkClose, set via RequestCtx.NotifyParkClose, fires when the
+	// serve layer closes this connection while parked — shed under
+	// descriptor or budget pressure, peer gone, or shutdown. See
+	// serve.ParkCloseNotifier for the contract.
+	onParkClose func()
+}
+
+// ParkClosed implements serve.ParkCloseNotifier by forwarding to the
+// registered hook, so layers that index parked connections (wsaff's
+// shards) learn of a shed immediately rather than at the next
+// keep-alive probe.
+func (c *conn) ParkClosed() {
+	if c.onParkClose != nil {
+		c.onParkClose()
+	}
 }
 
 // Read replays residual post-upgrade bytes before touching the
@@ -341,8 +424,28 @@ func unwrap(nc net.Conn) *conn {
 // only ever touched from worker i's goroutine.
 func (s *Server) serveConn(worker int, nc net.Conn) {
 	c := unwrap(nc)
+	headerSlot := false
 	if c == nil {
-		// First pass on a fresh transport connection.
+		// First pass on a fresh transport connection: the admission
+		// gates run here, before any arena state is touched, and only
+		// here — a connection that has served a request is established
+		// and exempt, so overload pressure sheds newcomers while the
+		// flows the server has been curating keep their workers.
+		if s.cfg.ShedOnOverload && s.srv.Overloaded() {
+			s.admitw[worker].overloadSheds.Add(1)
+			nc.Write(s.shed503)
+			nc.Close()
+			return
+		}
+		if s.cfg.MaxInflightHeaders > 0 {
+			if !s.takeHeaderSlot() {
+				s.admitw[worker].headerSheds.Add(1)
+				nc.Write(s.shed503)
+				nc.Close()
+				return
+			}
+			headerSlot = true
+		}
 		c = &conn{Conn: nc}
 		nc = c
 	}
@@ -356,6 +459,7 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 	a := s.arenas[worker]
 	ctx := a.acquire()
 	ctx.begin(nc, c, worker)
+	ctx.headerSlot = headerSlot
 	park := s.servePass(ctx)
 	hijacked := c.takeover != nil
 	ctx.end()
@@ -384,6 +488,21 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 	}
 }
 
+// takeHeaderSlot claims one MaxInflightHeaders slot, CAS-bounded so
+// concurrent workers can never overshoot the cap.
+func (s *Server) takeHeaderSlot() bool {
+	limit := int64(s.cfg.MaxInflightHeaders)
+	for {
+		n := s.inflightHeaders.Load()
+		if n >= limit {
+			return false
+		}
+		if s.inflightHeaders.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
 // runTakeover runs one takeover pass and parks the connection if asked.
 // The takeover owns the read deadline (a parked WebSocket has no idle
 // timeout — its keep-alive is protocol-level pings), so unlike the HTTP
@@ -407,7 +526,15 @@ const flushEvery = 32 << 10
 func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 	c := ctx.state
 	for {
-		if err := ctx.readRequest(); err != nil {
+		err := ctx.readRequest()
+		if ctx.headerSlot {
+			// The fresh connection's first head read is over (parsed or
+			// failed): it no longer holds a worker captive on input it
+			// has never justified, so its in-flight-headers slot frees.
+			ctx.headerSlot = false
+			ctx.srv.inflightHeaders.Add(-1)
+		}
+		if err != nil {
 			var pe *protoError
 			if errors.As(err, &pe) {
 				ctx.writeError(pe)

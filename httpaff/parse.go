@@ -3,6 +3,7 @@ package httpaff
 import (
 	"bytes"
 	"errors"
+	"os"
 	"time"
 
 	"affinityaccept/internal/http11"
@@ -67,7 +68,23 @@ func parseUint(b []byte) (int, bool) {
 // silent clients wedge the whole server even though the operator asked
 // for idle connections to be dropped.
 func (ctx *RequestCtx) armReadDeadline() {
-	timeout := ctx.srv.cfg.ReadTimeout
+	ctx.armDeadline(ctx.srv.cfg.ReadTimeout)
+}
+
+// armHeadDeadline bounds the head (request line + headers) reads. The
+// separate, typically tighter HeaderTimeout is the slowloris defense:
+// the deadline is absolute from the first blocking head read, so a
+// client dripping one header byte per second is cut off on schedule no
+// matter how many drips land.
+func (ctx *RequestCtx) armHeadDeadline() {
+	timeout := ctx.srv.cfg.HeaderTimeout
+	if timeout == 0 {
+		timeout = ctx.srv.cfg.ReadTimeout
+	}
+	ctx.armDeadline(timeout)
+}
+
+func (ctx *RequestCtx) armDeadline(timeout time.Duration) {
 	if timeout == 0 {
 		timeout = ctx.srv.cfg.IdleTimeout
 	}
@@ -90,7 +107,8 @@ func (ctx *RequestCtx) readRequest() error {
 		ctx.rlen = copy(ctx.rbuf, ctx.rbuf[ctx.rpos:ctx.rlen])
 		ctx.rpos = 0
 	}
-	armed := false
+	armed := false  // a read deadline has been armed for this request
+	headDL := false // ...and it is the (typically tighter) head deadline
 	scan := 0
 	headerEnd := -1
 	for {
@@ -112,14 +130,19 @@ func (ctx *RequestCtx) readRequest() error {
 			ctx.grow(2 * len(ctx.rbuf))
 		}
 		if !armed {
-			ctx.armReadDeadline()
-			armed = true
+			ctx.armHeadDeadline()
+			armed, headDL = true, true
 		}
 		n, err := ctx.conn.Read(ctx.rbuf[ctx.rlen:])
 		ctx.rlen += n
 		if err != nil && n == 0 {
 			if ctx.rlen == 0 {
 				return errClientGone
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// A started-but-never-finished head is the slowloris
+				// signature; count it for the worker serving the pass.
+				ctx.srv.admitw[ctx.worker].headerTimeouts.Add(1)
 			}
 			return err // mid-request EOF or timeout
 		}
@@ -140,9 +163,13 @@ func (ctx *RequestCtx) readRequest() error {
 			ctx.grow(total)
 		}
 		for ctx.rlen < total {
-			if !armed {
+			// The body gets its own budget under ReadTimeout: when a
+			// distinct HeaderTimeout armed the head reads, re-arm here
+			// so a tight header deadline doesn't strangle a legitimate
+			// large upload.
+			if !armed || (headDL && ctx.srv.cfg.HeaderTimeout > 0) {
 				ctx.armReadDeadline()
-				armed = true
+				armed, headDL = true, false
 			}
 			n, err := ctx.conn.Read(ctx.rbuf[ctx.rlen:total])
 			ctx.rlen += n

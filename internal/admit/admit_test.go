@@ -1,0 +1,159 @@
+package admit
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterNeverExceedsCapacity is the bucket's safety property:
+// however goroutines interleave their Allow calls on one key, the
+// number of admissions over a window never exceeds window/interval +
+// burst. Time is virtual (each attempt carries a random timestamp
+// inside the window), so the bound is exact and the test is
+// deterministic in its verdict while the goroutine interleavings — the
+// thing -race and the CAS loop are being exercised against — stay real.
+func TestLimiterNeverExceedsCapacity(t *testing.T) {
+	const (
+		interval = 1000 // ns per token => rate 1e6/s
+		burst    = 50
+		window   = 2000 * interval
+		gor      = 8
+		attempts = 5000
+	)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			l := NewLimiter(1e9/float64(interval), burst, 64)
+			var granted atomic.Uint64
+			var wg sync.WaitGroup
+			for g := 0; g < gor; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed<<8 | int64(g)))
+					for i := 0; i < attempts; i++ {
+						now := rng.Int63n(window + 1)
+						if l.Allow(42, now) {
+							granted.Add(1)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			bound := uint64(window/interval + burst)
+			if got := granted.Load(); got > bound {
+				t.Fatalf("granted %d admissions over a %dns window; capacity bound is %d", got, int64(window), bound)
+			}
+			if granted.Load() != l.Allowed() {
+				t.Fatalf("counter drift: observed %d grants, limiter counted %d", granted.Load(), l.Allowed())
+			}
+			if l.Allowed()+l.Limited() != gor*attempts {
+				t.Fatalf("allowed %d + limited %d != %d attempts", l.Allowed(), l.Limited(), gor*attempts)
+			}
+		})
+	}
+}
+
+// TestLimiterRefillConverges checks the liveness half: after a key is
+// driven to exhaustion, waiting n emission intervals restores ~n
+// admissions — the implicit-refill arithmetic converges to the
+// configured rate rather than drifting.
+func TestLimiterRefillConverges(t *testing.T) {
+	const (
+		interval = int64(1000)
+		burst    = 10
+	)
+	l := NewLimiter(1e9/float64(interval), burst, 64)
+	drain := func(now int64) (n int64) {
+		for l.Allow(7, now) {
+			n++
+			if n > 1e6 {
+				t.Fatal("limiter never denies: refill arithmetic is broken")
+			}
+		}
+		return n
+	}
+	if got := drain(0); got != burst {
+		t.Fatalf("fresh bucket granted %d, want the full burst %d", got, burst)
+	}
+	now := int64(0)
+	// Waits below the burst restore exactly that many tokens; a wait
+	// beyond the burst is checked after the loop (credit caps there).
+	for _, wait := range []int64{1, 3, 7, 2} {
+		now += wait * interval
+		got := drain(now)
+		if got < wait-1 || got > wait+1 {
+			t.Fatalf("after waiting %d intervals the bucket granted %d admissions; refill should converge to the rate (want %d±1)", wait, got, wait)
+		}
+	}
+	// A wait far beyond the burst restores only the burst: credit does
+	// not accrue past capacity.
+	now += 100 * burst * int64(interval)
+	if got := drain(now); got != burst {
+		t.Fatalf("after a long idle the bucket granted %d, want exactly the burst %d", got, burst)
+	}
+}
+
+// TestLimiterKeysIndependent: exhausting one bucket leaves keys that
+// hash to other buckets untouched.
+func TestLimiterKeysIndependent(t *testing.T) {
+	l := NewLimiter(1e6, 4, 8)
+	for l.Allow(0, 0) {
+	}
+	if !l.Allow(1, 0) {
+		t.Fatal("exhausting key 0 starved key 1 in a different bucket")
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	v4 := net.ParseIP("192.0.2.7")
+	mapped := net.IPv4(192, 0, 2, 7).To16()
+	if KeyIP(v4) != KeyIP(mapped) {
+		t.Fatal("plain and v4-mapped spellings of one IPv4 address shard differently")
+	}
+	tcp := &net.TCPAddr{IP: mapped, Port: 12345}
+	if KeyAddr(tcp) != KeyIP(v4) {
+		t.Fatal("KeyAddr(TCPAddr) disagrees with KeyIP")
+	}
+	for _, s := range []string{"192.0.2.7:80", "192.0.2.7:9999", "[::ffff:192.0.2.7]:80", "192.0.2.7"} {
+		if KeyAddrString(s) != KeyIP(v4) {
+			t.Fatalf("KeyAddrString(%q) disagrees with KeyIP of the same address", s)
+		}
+	}
+	if KeyAddrString("[2001:db8::1]:443") != KeyIP(net.ParseIP("2001:db8::1")) {
+		t.Fatal("bracketed v6 form disagrees with KeyIP")
+	}
+	if KeyAddrString("fe80::1%eth0") != KeyIP(net.ParseIP("fe80::1")) {
+		t.Fatal("zoned v6 form should key on the address without its zone")
+	}
+	if KeyIP(net.ParseIP("192.0.2.7")) == KeyIP(net.ParseIP("192.0.2.8")) {
+		t.Fatal("adjacent addresses collided — hash is degenerate")
+	}
+	// Garbage must not panic and must be stable.
+	for _, s := range []string{"", ":", "[", "[]", "]:80", "not-an-ip:80", "%%%", "[::1", "1.2.3.4.5:6"} {
+		if KeyAddrString(s) != KeyAddrString(s) {
+			t.Fatalf("KeyAddrString(%q) is not deterministic", s)
+		}
+	}
+}
+
+// TestAdmitHotPathZeroAlloc pins the accept-path cost: keying a
+// TCPAddr and consulting the bucket must not allocate, or the admission
+// layer would put garbage on every accepted connection and break the
+// zero-alloc gates upstream.
+func TestAdmitHotPathZeroAlloc(t *testing.T) {
+	l := NewLimiter(1e6, 1<<20, 64)
+	addr := &net.TCPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 4242}
+	now := time.Now().UnixNano()
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Allow(KeyAddr(addr), now)
+	})
+	if avg != 0 {
+		t.Fatalf("KeyAddr+Allow allocated %.1f objects per call, want 0", avg)
+	}
+}

@@ -1,0 +1,42 @@
+package admit
+
+import (
+	"net"
+	"testing"
+)
+
+// FuzzClientIPKey throws arbitrary RemoteAddr-shaped strings at the
+// keying path: nothing may panic, every input must shard
+// deterministically, and inputs that parse as the same IP must land in
+// the same bucket regardless of spelling (dotted-quad vs v4-mapped,
+// bracketed vs bare, with or without port or zone).
+func FuzzClientIPKey(f *testing.F) {
+	f.Add("192.0.2.7:80")
+	f.Add("[2001:db8::1]:443")
+	f.Add("[::ffff:10.1.2.3]:8080")
+	f.Add("fe80::1%eth0")
+	f.Add("not an address at all")
+	f.Add("")
+	f.Add("[")
+	f.Add("256.256.256.256:99999")
+	f.Fuzz(func(t *testing.T, s string) {
+		k1 := KeyAddrString(s)
+		k2 := KeyAddrString(s)
+		if k1 != k2 {
+			t.Fatalf("KeyAddrString(%q) unstable: %#x then %#x", s, k1, k2)
+		}
+		// If the whole input parses as an IP, the key must agree with
+		// the canonical KeyIP — and with the v4-mapped spelling.
+		if ip := net.ParseIP(s); ip != nil {
+			if k1 != KeyIP(ip) {
+				t.Fatalf("KeyAddrString(%q)=%#x disagrees with KeyIP=%#x", s, k1, KeyIP(ip))
+			}
+			if v4 := ip.To4(); v4 != nil && KeyIP(v4.To16()) != KeyIP(ip) {
+				t.Fatalf("mapped and plain spellings of %q shard differently", s)
+			}
+		}
+		// Whatever the key, it must index a bucket without panicking.
+		l := NewLimiter(1000, 4, 8)
+		l.Allow(k1, 0)
+	})
+}

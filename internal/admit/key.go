@@ -1,0 +1,76 @@
+package admit
+
+import (
+	"net"
+	"strings"
+)
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// KeyIP hashes an IP address to a bucket key with FNV-1a over its
+// canonical bytes. IPv4 addresses hash identically whether they arrive
+// as 4-byte slices, 16-byte v4-in-v6-mapped slices (what a TCPAddr from
+// a dual-stack listener carries), or were parsed from dotted-quad text:
+// To4 reduces all three to the same 4 bytes without allocating (it
+// returns a subslice). A nil or malformed IP hashes to the empty-input
+// FNV offset — a stable shared bucket, not a panic.
+func KeyIP(ip net.IP) uint64 {
+	if v4 := ip.To4(); v4 != nil {
+		ip = v4
+	}
+	return hashBytes(ip)
+}
+
+// KeyAddr hashes a net.Addr's host to a bucket key. TCP addresses — the
+// only kind the accept path sees — take the allocation-free KeyIP path;
+// anything else falls back to hashing the textual form.
+func KeyAddr(a net.Addr) uint64 {
+	if t, ok := a.(*net.TCPAddr); ok {
+		return KeyIP(t.IP)
+	}
+	if a == nil {
+		return hashBytes(nil)
+	}
+	return KeyAddrString(a.String())
+}
+
+// KeyAddrString hashes a textual remote address ("1.2.3.4:80",
+// "[::1]:443", "fe80::1%eth0", or arbitrary garbage) to a bucket key.
+// Valid IP forms agree with KeyIP on the parsed address — mapped and
+// plain spellings of the same IPv4 address shard together — and
+// anything unparseable hashes its raw bytes, so every input shards
+// stably and none panics. The string path allocates (net.ParseIP);
+// it exists for diagnostics and fuzzing, not the accept hot path.
+func KeyAddrString(s string) uint64 {
+	host := s
+	if len(host) > 0 && host[0] == '[' {
+		// "[v6-or-garbage]:port" — key on the bracketed host.
+		if i := strings.IndexByte(host, ']'); i >= 0 {
+			host = host[1:i]
+		}
+	} else if i := strings.LastIndexByte(host, ':'); i >= 0 && strings.IndexByte(host, ':') == i {
+		// Exactly one colon: "v4:port" or "host:port". A bare IPv6
+		// address has two or more and is left whole.
+		host = host[:i]
+	}
+	if i := strings.IndexByte(host, '%'); i >= 0 {
+		host = host[:i] // scoped v6: the zone is not part of the client identity
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		return KeyIP(ip)
+	}
+	return hashBytes([]byte(host))
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}

@@ -38,6 +38,21 @@ func (g *Guarded[T]) Busy(core int) bool {
 	return g.q.Busy(core)
 }
 
+// AllBusy reports whether every core's §3.3.1 busy bit is set — the
+// whole-server saturation signal overload backpressure keys on. One
+// lock acquisition covers all cores, so callers on the accept path pay
+// the same as a single Busy probe.
+func (g *Guarded[T]) AllBusy() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < g.q.Cores(); i++ {
+		if !g.q.Busy(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // Len reports core's local queue length.
 func (g *Guarded[T]) Len(core int) int {
 	g.mu.Lock()

@@ -711,6 +711,16 @@ func (p *Proxy) tunnel(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamConn
 	p.tunneled.Add(1)
 	defer p.tunnels.Add(-1)
 
+	// The tunnel pins the upstream leg's descriptor for the client
+	// connection's whole lifetime — a load the accept-side connection
+	// budget cannot see, since it only counts accepted sockets. Charge
+	// the leg explicitly: oversubscription sheds parked connections
+	// LIFO, exactly as if the leg had arrived through accept.
+	if t := ctx.Server().Transport(); t != nil {
+		t.ChargeConn(1)
+		defer t.ChargeConn(-1)
+	}
+
 	down := ctx.NetConn()
 	// The exchange deadline bounded the handshake; the tunnel lives as
 	// long as the application protocol keeps it, and liveness is that

@@ -198,3 +198,95 @@ func TestProxyUpgradeRefusedStaysHTTP(t *testing.T) {
 		t.Errorf("refused upgrade counted as a tunnel: %d", st.Tunneled)
 	}
 }
+
+// TestTunnelUpstreamLegChargesBudget: the tunnel's upstream descriptor
+// is charged against the front transport's connection budget for the
+// tunnel's lifetime, so a budget sized for accepted sockets cannot be
+// silently doubled by upgrade traffic — the charge squeezes out parked
+// idle connections LIFO, exactly like an accepted newcomer would.
+func TestTunnelUpstreamLegChargesBudget(t *testing.T) {
+	backend := startWSBackend(t)
+	p, err := New(Config{Backends: []string{backend.Addr().String()}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := httpaff.New(httpaff.Config{
+		Workers:        2,
+		Handler:        p.Serve,
+		WorkerUpstream: p.PoolSnapshot,
+		MaxConns:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.Start()
+	t.Cleanup(func() {
+		stopServer(t, front)
+		p.Close()
+	})
+
+	// A keep-alive HTTP conn parks: one budget slot held idle. (The
+	// wsaff backend 404s unknown paths — any response parks the conn.)
+	idle, ibr := dialFront(t, front)
+	fmt.Fprint(idle, "GET /whoami HTTP/1.1\r\nHost: edge\r\n\r\n")
+	if code, _, _ := readResponse(t, ibr); code != 404 {
+		t.Fatal("warmup request failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for front.Transport().Parked() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle conn never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The tunnel claims two slots: its client leg (accepted) and its
+	// upstream leg (charged). Budget 2 is now oversubscribed by one —
+	// the parked idle conn must be shed to make room.
+	conn, br := dialFront(t, front)
+	fmt.Fprint(conn, "GET /ws HTTP/1.1\r\nHost: edge\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: "+tunnelTestKey+"\r\nSec-WebSocket-Version: 13\r\n\r\n")
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		t.Fatalf("tunnel status %q: %v", status, err)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimRight(line, "\r\n") == "" {
+			break
+		}
+	}
+
+	idle.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := idle.Read(make([]byte, 1)); err == nil || n > 0 {
+		t.Fatalf("idle conn survived the tunnel's budget charge (n=%d err=%v)", n, err)
+	}
+	st := front.Transport().Stats()
+	if st.ShedParked != 1 {
+		t.Errorf("ShedParked = %d, want 1", st.ShedParked)
+	}
+	if st.LivePeak > 2 {
+		t.Errorf("LivePeak = %d exceeds the budget 2", st.LivePeak)
+	}
+
+	// The tunnel itself is untouched: frames still flow.
+	if _, err := conn.Write(maskFrame("still flowing")); err != nil {
+		t.Fatal(err)
+	}
+	if op, payload := readServerFrame(t, br); op != 1 || string(payload) != "still flowing" {
+		t.Fatalf("tunnel broken after charge: op=%d %q", op, payload)
+	}
+
+	// Teardown releases both slots.
+	conn.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for front.Transport().Live() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live count stuck at %d after tunnel teardown", front.Transport().Live())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"syscall"
+)
+
+// ParkCloseNotifier is implemented by connection values that want a
+// prompt, synchronous callback when the *server* closes them while
+// parked — the peer vanished mid-park, the shedding policy reclaimed
+// the descriptor, or Shutdown swept the parked population. Application
+// layers that index parked connections in their own registries (the
+// wsaff shards) use it to unregister immediately instead of waiting
+// for a keep-alive probe to discover the corpse. The callback runs on
+// the goroutine doing the close (a parker or an acceptor) and must not
+// block; it is never invoked for connections the handler itself closes.
+type ParkCloseNotifier interface {
+	ParkClosed()
+}
+
+// fdPressureSheds is how many parked connections one EMFILE/ENFILE
+// accept failure reclaims. More than one, because descriptor exhaustion
+// is a global condition and a single freed fd would be re-consumed by
+// the very next accept; a small batch gives the acceptor headroom.
+const fdPressureSheds = 8
+
+// isFDPressure reports whether an accept error means the process (or
+// system) descriptor table is full — the condition shedding can fix.
+func isFDPressure(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE)
+}
+
+// budgetConn wraps an accepted connection when MaxConns is set so the
+// budget is released exactly once, wherever in the stack the final
+// Close happens. It is the budget mode's one per-connection allocation
+// — per connection, not per request, so the zero-alloc request gates
+// are unaffected.
+type budgetConn struct {
+	net.Conn
+	srv      *Server
+	released atomic.Bool
+}
+
+func (b *budgetConn) Close() error {
+	if b.released.CompareAndSwap(false, true) {
+		b.srv.live.Add(-1)
+	}
+	return b.Conn.Close()
+}
+
+// NetConn exposes the wrapped connection, keeping the unwrap chain
+// (parkedConn → httpaff conn → budgetConn → *net.TCPConn) walkable.
+func (b *budgetConn) NetConn() net.Conn { return b.Conn }
+
+// admitBudget charges one accepted connection to the budget. If the
+// budget is exhausted it sheds the newest parked connection — closing
+// it synchronously, so the descriptor and budget slot are free before
+// this accept proceeds — and only rejects the newcomer when nothing is
+// parked (every slot is doing work; shedding an *active* connection is
+// never on the table). Returns the wrapped connection, or nil if it
+// was rejected and closed.
+func (s *Server) admitBudget(conn net.Conn) net.Conn {
+	n := s.live.Add(1)
+	if n > int64(s.cfg.MaxConns) {
+		if !s.parked.shedNewest() {
+			s.live.Add(-1)
+			s.budgetRejected.Add(1)
+			conn.Close()
+			return nil
+		}
+		s.shedParked.Add(1)
+	}
+	s.notePeak()
+	return &budgetConn{Conn: conn, srv: s}
+}
+
+// notePeak folds the current live count into livePeak. Called after
+// admission has settled, so the peak records budget-enforced reality:
+// it can never exceed MaxConns.
+func (s *Server) notePeak() {
+	n := s.live.Load()
+	for {
+		peak := s.livePeak.Load()
+		if n <= peak || s.livePeak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// shedParkedConns closes up to n of the newest parked connections
+// (LIFO) and reports how many it closed. The accept loop calls it on
+// descriptor exhaustion; each close runs synchronously so the freed
+// descriptors are available to the retried accept.
+func (s *Server) shedParkedConns(n int) int {
+	shed := 0
+	for ; shed < n; shed++ {
+		if !s.parked.shedNewest() {
+			break
+		}
+	}
+	s.shedParked.Add(uint64(shed))
+	return shed
+}
+
+// ChargeConn charges (delta > 0) or releases (delta < 0) descriptors
+// the accept path cannot see against the connection budget — a reverse
+// proxy's upstream tunnel leg is the motivating case: one CONNECT-style
+// tunnel holds two descriptors but only the downstream one was counted
+// at accept. Over-budget charges shed parked connections to make room
+// but never fail: the descriptor already exists, so the budget adapts
+// rather than lying. No-op when MaxConns is 0.
+func (s *Server) ChargeConn(delta int) {
+	if s.cfg.MaxConns == 0 || delta == 0 {
+		return
+	}
+	n := s.live.Add(int64(delta))
+	if delta < 0 {
+		return
+	}
+	for over := n - int64(s.cfg.MaxConns); over > 0; over-- {
+		if !s.parked.shedNewest() {
+			break
+		}
+		s.shedParked.Add(1)
+	}
+	s.notePeak()
+}
+
+// Overloaded reports whether every worker is over its §3.3.1 busy
+// watermark — the saturation signal application layers use to shed
+// fresh connections with backpressure (httpaff's 503-with-Retry-After)
+// while established flows keep their workers. One lock acquisition;
+// callers gate it to new-connection setup, not the per-request path.
+func (s *Server) Overloaded() bool { return s.bal.AllBusy() }
+
+// Live reports connections currently charged against the budget
+// (0 when MaxConns is unset — budget accounting is off).
+func (s *Server) Live() int64 { return s.live.Load() }
+
+// LivePeak reports the high-water mark of Live. Budget enforcement
+// happens before the peak is recorded, so LivePeak ≤ MaxConns is the
+// server's no-overrun invariant, checkable from outside.
+func (s *Server) LivePeak() int64 { return s.livePeak.Load() }

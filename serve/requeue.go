@@ -23,6 +23,14 @@ type parkedConn struct {
 	wakeBuf   [1]byte       // park's read scratch: a field, so the interface Read cannot heap-escape it per pass
 	parkCh    chan struct{} // buffered(1): signals the parker to take ownership
 	closeOnce sync.Once
+
+	// newer/older link the connection into the parkSet's intrusive
+	// park-order list (guarded by parkSet.mu). The list is what makes
+	// LIFO shedding O(1): under descriptor or budget pressure the
+	// *newest* parked connection is reclaimed, so the longest-idle
+	// survivors — the ones whose continued existence is cheapest and
+	// whose flow-group state is warmest — are kept.
+	newer, older *parkedConn
 }
 
 // Close is the handler's half of the ownership contract: a handler
@@ -77,6 +85,7 @@ func (p *parkedConn) Read(b []byte) (int, error) {
 type parkSet struct {
 	mu     sync.Mutex
 	conns  map[*parkedConn]struct{}
+	newest *parkedConn // head of the intrusive LIFO list (park order)
 	closed bool
 	wg     sync.WaitGroup
 
@@ -100,18 +109,64 @@ func (ps *parkSet) add(p *parkedConn) bool {
 		return false
 	}
 	ps.conns[p] = struct{}{}
+	p.older = ps.newest
+	p.newer = nil
+	if ps.newest != nil {
+		ps.newest.newer = p
+	}
+	ps.newest = p
 	ps.wg.Add(1)
 	ps.parked.Inc()
 	return true
 }
 
-// remove unregisters a connection whose park read completed; the park
-// goroutine still owns it until push or close, and must call done.
-func (ps *parkSet) remove(p *parkedConn) {
+// remove unregisters a connection whose park read completed and reports
+// whether it was still registered — false means the shedding policy
+// reclaimed (and closed) it first, and the caller must not route it.
+// On true the park goroutine still owns it until push or close, and
+// must call done.
+func (ps *parkSet) remove(p *parkedConn) bool {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if _, ok := ps.conns[p]; !ok {
+		return false
+	}
+	ps.removeLocked(p)
+	return true
+}
+
+func (ps *parkSet) removeLocked(p *parkedConn) {
 	delete(ps.conns, p)
+	if p.newer != nil {
+		p.newer.older = p.older
+	} else {
+		ps.newest = p.older
+	}
+	if p.older != nil {
+		p.older.newer = p.newer
+	}
+	p.newer, p.older = nil, nil
 	ps.parked.Dec()
+}
+
+// shedNewest unregisters and closes the most recently parked
+// connection — the LIFO victim — reporting whether there was one. The
+// close is synchronous, so the caller (an acceptor under fd or budget
+// pressure) gets the descriptor back before its next accept; the
+// victim's parker then wakes with a read error and retires itself, and
+// any ParkCloseNotifier fires from there.
+func (ps *parkSet) shedNewest() bool {
+	ps.mu.Lock()
+	p := ps.newest
+	if p != nil {
+		ps.removeLocked(p)
+	}
+	ps.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.Conn.Close()
+	return true
 }
 
 func (ps *parkSet) done() { ps.wg.Done() }
@@ -185,17 +240,36 @@ func (s *Server) park(p *parkedConn) (alive bool) {
 		n, err := p.Conn.Read(p.wakeBuf[:])
 		if err != nil || n == 0 {
 			s.parked.remove(p)
-			p.Conn.Close() // peer gone, or Shutdown closed us mid-park
+			p.Conn.Close() // peer gone, shed, or Shutdown closed us mid-park
+			notifyParkClosed(p.Conn)
 			return false
 		}
 		p.head, p.has = p.wakeBuf[0], true
 	}
-	s.parked.remove(p)
+	if !s.parked.remove(p) {
+		// Shedding reclaimed this connection between its wake-up byte
+		// and here; it is already closed. Do not route a corpse.
+		p.Conn.Close()
+		notifyParkClosed(p.Conn)
+		return false
+	}
 	worker := s.route(p)
 	if !s.bal.Push(worker, p) {
 		p.Conn.Close() // queue overflow: shed load, as at accept time
+		notifyParkClosed(p.Conn)
 		return false
 	}
 	s.wakeWorkers()
 	return true
+}
+
+// notifyParkClosed fires the connection's ParkCloseNotifier, if it has
+// one, after a server-side close of a parked connection. Exactly one
+// call per connection: every parked connection that dies does so
+// through its parker's exit path above, whichever policy (peer EOF,
+// shed, shutdown, queue overflow) pulled the trigger.
+func notifyParkClosed(c net.Conn) {
+	if n, ok := c.(ParkCloseNotifier); ok {
+		n.ParkClosed()
+	}
 }

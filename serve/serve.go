@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"affinityaccept/internal/admit"
 	"affinityaccept/internal/core"
 )
 
@@ -97,6 +98,28 @@ type Config struct {
 	// configuration; useful for A/B comparison).
 	DisableMigration bool
 
+	// MaxConns, when positive, is the server's connection budget: the
+	// maximum number of accepted connections (plus descriptors charged
+	// via ChargeConn, e.g. proxy tunnel upstreams) alive at once. An
+	// accept that would exceed the budget sheds the newest parked
+	// keep-alive connection to make room — LIFO, so the longest-idle
+	// survivors keep their warm state — and is rejected outright only
+	// when nothing is parked. 0 means unlimited (and the accept path
+	// skips budget accounting entirely).
+	MaxConns int
+	// PerIPAcceptRate, when positive, limits each client IP to this
+	// many accepted connections per second (burst PerIPAcceptBurst).
+	// Each acceptor owns a private lock-free bucket array — no state is
+	// shared between workers, mirroring the paper's no-shared-state
+	// accept path — so under SO_REUSEPORT a single IP sprayed across
+	// all listeners is effectively allowed Workers× the configured
+	// rate; set the rate with that in mind. Over-rate connections are
+	// closed immediately after accept, before any routing or handler
+	// work. 0 disables per-IP limiting.
+	PerIPAcceptRate float64
+	// PerIPAcceptBurst is the per-IP bucket depth (0 = max(8, rate)).
+	PerIPAcceptBurst int
+
 	// WorkerPool, if set, is called by Stats with each worker index and
 	// reports that worker's application-layer object-pool counters. The
 	// httpaff layer wires its worker-local arenas through this, so the
@@ -150,6 +173,15 @@ func (c *Config) fill() error {
 	if c.FlowGroups == 0 {
 		c.FlowGroups = core.DefaultFlowGroups
 	}
+	if c.MaxConns < 0 || c.PerIPAcceptRate < 0 || c.PerIPAcceptBurst < 0 {
+		return errors.New("serve: MaxConns, PerIPAcceptRate and PerIPAcceptBurst must be non-negative")
+	}
+	if c.PerIPAcceptRate > 0 && c.PerIPAcceptBurst == 0 {
+		c.PerIPAcceptBurst = 8
+		if r := int(c.PerIPAcceptRate); r > 8 {
+			c.PerIPAcceptBurst = r
+		}
+	}
 	if c.MigrateInterval == 0 {
 		c.MigrateInterval = core.DefaultMigrateInterval
 	}
@@ -182,6 +214,21 @@ type Server struct {
 	parked   *parkSet      // keep-alive connections between requeue passes
 	requeued atomic.Uint64 // successful Requeue calls
 	rr       atomic.Uint64 // round-robin cursor for non-TCP remote addresses
+
+	// limiters are the per-acceptor per-IP token buckets (nil slots
+	// when PerIPAcceptRate is 0). limiters[i] belongs to acceptLoop i
+	// alone in sharded mode; the single-listener fallback has one.
+	limiters []*admit.Limiter
+
+	// live / livePeak track the connection budget (MaxConns > 0 only):
+	// accepted connections not yet closed, plus ChargeConn charges.
+	live     atomic.Int64
+	livePeak atomic.Int64
+
+	ratelimited    atomic.Uint64 // conns closed at accept by the per-IP buckets
+	shedParked     atomic.Uint64 // parked conns closed to make room (budget or fd pressure)
+	budgetRejected atomic.Uint64 // conns rejected because the budget was exhausted and nothing was parked
+	acceptRetries  atomic.Uint64 // transient accept errors survived (EMFILE/ENFILE/ECONNABORTED)
 }
 
 // workerState holds one worker's atomically updated counters.
@@ -224,6 +271,12 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err := s.listen(); err != nil {
 		return nil, err
+	}
+	if cfg.PerIPAcceptRate > 0 {
+		s.limiters = make([]*admit.Limiter, len(s.listeners))
+		for i := range s.limiters {
+			s.limiters[i] = admit.NewLimiter(cfg.PerIPAcceptRate, cfg.PerIPAcceptBurst, admit.DefaultBuckets)
+		}
 	}
 	return s, nil
 }
@@ -287,9 +340,9 @@ func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
-	for _, l := range s.listeners {
+	for i, l := range s.listeners {
 		s.acceptWG.Add(1)
-		go s.acceptLoop(l)
+		go s.acceptLoop(i, l)
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -324,10 +377,17 @@ func (s *Server) wakeWorkers() {
 	}
 }
 
-// acceptLoop accepts connections from one listener and pushes each onto
-// the queue of the worker owning its flow group.
-func (s *Server) acceptLoop(l net.Listener) {
+// acceptLoop accepts connections from one listener, applies admission
+// control (per-IP rate, connection budget) and pushes each survivor
+// onto the queue of the worker owning its flow group. idx names the
+// listener: in sharded mode it is also the index of the acceptor's
+// private per-IP limiter.
+func (s *Server) acceptLoop(idx int, l net.Listener) {
 	defer s.acceptWG.Done()
+	var lim *admit.Limiter
+	if s.limiters != nil {
+		lim = s.limiters[idx]
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -337,12 +397,33 @@ func (s *Server) acceptLoop(l net.Listener) {
 			// Transient accept failure — EMFILE/ENFILE when a large
 			// held-open population grazes the descriptor limit,
 			// ECONNABORTED on a client that gave up in the queue. A
-			// production listener must not die for these: back off a
-			// beat (which also lets closes release descriptors) and
-			// keep accepting. A closed listener surfaces as ErrClosed
-			// on the next iteration.
+			// production listener must not die for these. Descriptor
+			// exhaustion gets deliberate policy rather than hope:
+			// shed the newest parked keep-alive connections — freeing
+			// their descriptors right now, on this goroutine — and
+			// retry immediately. Only when there is nothing to shed
+			// (or the error is not fd pressure) back off a beat. A
+			// closed listener surfaces as ErrClosed next iteration.
+			s.acceptRetries.Add(1)
+			if isFDPressure(err) && s.shedParkedConns(fdPressureSheds) > 0 {
+				continue
+			}
 			time.Sleep(10 * time.Millisecond)
 			continue
+		}
+		if lim != nil && !lim.AllowNow(admit.KeyAddr(conn.RemoteAddr())) {
+			// Over-rate IP: close before any routing or handler work.
+			// The bucket is the acceptor's own, so a flood's cost is
+			// one accept+close per attempt and no shared-state touch.
+			s.ratelimited.Add(1)
+			conn.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 {
+			conn = s.admitBudget(conn)
+			if conn == nil {
+				continue
+			}
 		}
 		worker := s.route(conn)
 		s.workers[worker].accepted.Add(1)
@@ -508,6 +589,14 @@ func (s *Server) Stats() Stats {
 		Parked:       s.parked.parked.Load(),
 		Migrations:   s.flow.Migrations(),
 		Workers:      make([]WorkerStats, s.cfg.Workers),
+
+		Ratelimited:    s.ratelimited.Load(),
+		ShedParked:     s.shedParked.Load(),
+		BudgetRejected: s.budgetRejected.Load(),
+		AcceptRetries:  s.acceptRetries.Load(),
+		Live:           s.live.Load(),
+		LivePeak:       s.livePeak.Load(),
+		MaxConns:       s.cfg.MaxConns,
 	}
 	for i := range st.Workers {
 		w := &s.workers[i]

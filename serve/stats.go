@@ -79,6 +79,27 @@ type Stats struct {
 	Queued  int
 	Active  int64
 	Workers []WorkerStats
+
+	// Admission-control counters (all zero unless the corresponding
+	// Config knobs — PerIPAcceptRate, MaxConns — are set).
+	//
+	// Ratelimited counts connections closed at accept because their
+	// client IP's token bucket was empty. ShedParked counts parked
+	// keep-alive connections closed LIFO to reclaim descriptors or
+	// budget; BudgetRejected counts fresh connections turned away
+	// because the budget was exhausted with nothing parked to shed.
+	// AcceptRetries counts transient accept errors survived
+	// (EMFILE/ENFILE/ECONNABORTED).
+	Ratelimited    uint64
+	ShedParked     uint64
+	BudgetRejected uint64
+	AcceptRetries  uint64
+	// Live and LivePeak track the connection budget's occupancy and
+	// high-water mark; MaxConns echoes the configured budget. The
+	// enforced invariant is LivePeak <= MaxConns.
+	Live     int64
+	LivePeak int64
+	MaxConns int
 }
 
 // LocalityPct is the percentage of served handler passes that stayed on
@@ -111,6 +132,10 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "mode: %s, %d flow groups\n", mode, s.FlowGroups)
 	fmt.Fprintf(&b, "accepted %d  served %d (%.1f%% local)  stolen %d  dropped %d  requeued %d  parked %d  migrations %d  queued %d  active %d\n",
 		s.Accepted, s.Served, s.LocalityPct(), s.ServedStolen, s.Dropped, s.Requeued, s.Parked, s.Migrations, s.Queued, s.Active)
+	if s.Ratelimited > 0 || s.ShedParked > 0 || s.BudgetRejected > 0 || s.AcceptRetries > 0 || s.MaxConns > 0 {
+		fmt.Fprintf(&b, "admission: ratelimited %d  shed-parked %d  budget-rejected %d  accept-retries %d  live %d (peak %d / budget %d)\n",
+			s.Ratelimited, s.ShedParked, s.BudgetRejected, s.AcceptRetries, s.Live, s.LivePeak, s.MaxConns)
+	}
 	pools := s.Pool.Gets() > 0
 	if pools {
 		fmt.Fprintf(&b, "pools: %d gets, %.1f%% reused from the worker-local free list (%d misses, %d drops)\n",

@@ -1,0 +1,64 @@
+package wsaff
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"affinityaccept/httpaff"
+)
+
+// TestShedParkedSocketReapsPromptly: when the serve layer sheds a
+// parked WebSocket under budget pressure, the park-close notification
+// reaps it from its shard immediately — OnClose(1006) fires and the
+// open gauge drops long before the ping wheel would have probed the
+// corpse.
+func TestShedParkedSocketReapsPromptly(t *testing.T) {
+	var closes atomic.Int64
+	var lastCode atomic.Int64
+	srv, ws := startWS(t, Config{
+		Workers:      2,
+		PingInterval: 5 * time.Minute, // the wheel must not be the one to notice
+		OnClose: func(c *Conn, code uint16) {
+			lastCode.Store(int64(code))
+			closes.Add(1)
+		},
+	}, httpaff.Config{MaxConns: 2})
+
+	older := dialWS(t, srv.Addr().String())
+	older.send(t, true, OpText, []byte("a"))
+	older.expectMessage(t, OpText, "a")
+	newer := dialWS(t, srv.Addr().String())
+	newer.send(t, true, OpText, []byte("b"))
+	newer.expectMessage(t, OpText, "b")
+	waitUntil(t, 5*time.Second, func() bool { return srv.Transport().Parked() == 2 },
+		"sockets never parked")
+
+	// A tunnel leg (or any charged descriptor) oversubscribes the
+	// budget: the newest parked socket is shed LIFO, and the shard
+	// learns right away.
+	srv.Transport().ChargeConn(1)
+	defer srv.Transport().ChargeConn(-1)
+
+	waitUntil(t, 5*time.Second, func() bool { return closes.Load() == 1 },
+		"OnClose never fired for the shed socket")
+	if code := uint16(lastCode.Load()); code != CloseAbnormal {
+		t.Errorf("OnClose code %d, want %d (abnormal: no close handshake on a shed)", code, CloseAbnormal)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return ws.Stats().Open == 1 },
+		"open gauge never dropped")
+
+	// The shed socket's client sees a dead transport...
+	newer.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := newer.conn.Read(make([]byte, 1)); err == nil || n > 0 {
+		t.Errorf("shed socket still delivered data (n=%d err=%v)", n, err)
+	}
+	// ...while the older socket — longest idle, warmest claim to its
+	// worker — survives and still echoes.
+	older.send(t, true, OpText, []byte("still here"))
+	older.expectMessage(t, OpText, "still here")
+
+	if st := srv.Transport().Stats(); st.ShedParked != 1 {
+		t.Errorf("ShedParked = %d, want 1", st.ShedParked)
+	}
+}

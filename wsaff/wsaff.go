@@ -350,6 +350,13 @@ func (ws *WS) Upgrade(ctx *httpaff.RequestCtx) bool {
 	// registered now would leak in the shard with OnOpen never called.
 	// The takeover closure is the connection's one steady-state
 	// allocation beyond the Conn itself, made once per lifetime.
+	//
+	// A parked socket the serve layer closes — shed LIFO under
+	// descriptor or budget pressure, or the peer vanished mid-park —
+	// would otherwise sit dead in its shard until the ping wheel's
+	// probe failed; the park-close notification reaps it immediately,
+	// so the shard gauge and OnClose track shedding in real time.
+	ctx.NotifyParkClose(func() { c.finish(CloseAbnormal, true) })
 	ctx.Hijack(func(worker int, nc net.Conn) bool { return ws.pass(worker, c, nc) })
 	return true
 }
