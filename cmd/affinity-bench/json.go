@@ -62,6 +62,16 @@ type benchReport struct {
 	WSDelivered  uint64 `json:"wsDelivered,omitempty"`
 	WSReceived   uint64 `json:"wsReceived,omitempty"`
 
+	// Event-loop metrics (-ws scenarios with -held). HeldConns is the
+	// held-open population under its schema name (same value as wsHeld);
+	// Goroutines is runtime.NumGoroutine sampled at window end — the
+	// O(workers)-not-O(connections) regression gate; CoarseClockLagUs is
+	// the worst per-worker coarse-clock staleness observed at window end
+	// (bounded by the event loop's poll interval, ~50ms).
+	HeldConns        uint64  `json:"heldConns,omitempty"`
+	Goroutines       int     `json:"goroutines,omitempty"`
+	CoarseClockLagUs float64 `json:"coarseClockLagUs,omitempty"`
+
 	// Admission-control counters (-hostile scenarios only). The server
 	// side: accept-time rate limiting, budget shedding, header-deadline
 	// cuts, 503 backpressure. The attacker side: what the hostile

@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"affinityaccept"
@@ -78,6 +79,7 @@ func main() {
 		wsMode    = flag.Bool("ws", false, "benchmark the wsaff WebSocket layer: skewed long-lived echo connections, optional held-open and broadcast load")
 		held      = flag.Int("held", 0, "held-open idle subscribed WebSocket connections in -ws mode")
 		broadcast = flag.Duration("broadcast-every", 0, "publish a broadcast at this period in -ws mode (0 = off)")
+		scenario  = flag.String("scenario", "", "override the scenario name recorded in the -json report (-ws mode)")
 
 		longlived    = flag.Int("longlived", 0, "drive N long-lived keep-alive connections skewed onto worker 0's flow groups (demonstrates §3.3.2 migration)")
 		work         = flag.Duration("work", 200*time.Microsecond, "per-request handler service time in -longlived mode")
@@ -85,8 +87,22 @@ func main() {
 		migrateEvery = flag.Duration("migrate-interval", 0, "migration tick (0 = the paper's 100ms)")
 		groups       = flag.Int("groups", 0, "flow-group count (0 = the paper's 4096; -longlived defaults to 16)")
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *hostileMode {
 		burst := *ipBurst
@@ -136,6 +152,7 @@ func main() {
 			migrateEvery:   *migrateEvery,
 			groups:         *groups,
 			jsonPath:       *jsonPath,
+			scenarioName:   *scenario,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,9 +39,17 @@ type wsOpts struct {
 	migrateEvery time.Duration
 	groups       int
 	jsonPath     string
+
+	// scenarioName overrides the recorded scenario (the -scenario flag):
+	// CI records the held-socket run as "ws-held" so trend tooling keyed
+	// on "ws-echo" keeps reading the echo-throughput runs.
+	scenarioName string
 }
 
 func (o wsOpts) scenario() string {
+	if o.scenarioName != "" {
+		return o.scenarioName
+	}
 	if o.migrate {
 		return "ws-echo"
 	}
@@ -132,7 +141,11 @@ func runWSBench(o wsOpts) error {
 	// they only answer pings and drain broadcasts. Dialed plainly so
 	// they spread over all workers, like a real fleet of mostly-idle
 	// clients; dialed concurrently (bounded) so a 10k population builds
-	// in seconds, before the measurement window opens.
+	// in seconds, before the measurement window opens. Source IPs
+	// rotate through 127.0.0.0/8 every 20k connections: one loopback
+	// address has only ~28k ephemeral ports against a single listener,
+	// so a 100k+ population needs several — Linux answers for the whole
+	// /8 without configuration.
 	var heldWG, dialWG sync.WaitGroup
 	var heldMu sync.Mutex
 	heldClients := make([]*wsaff.Client, 0, o.held)
@@ -140,11 +153,21 @@ func runWSBench(o wsOpts) error {
 	for i := 0; i < o.held; i++ {
 		dialWG.Add(1)
 		dialSem <- struct{}{}
+		src := i / 20000
 		go func() {
 			defer dialWG.Done()
 			defer func() { <-dialSem }()
-			c, err := wsaff.Dial(target, "/")
+			d := net.Dialer{LocalAddr: &net.TCPAddr{
+				IP: net.IPv4(127, 0, byte(src>>8), byte(1+src&0xff)),
+			}}
+			nc, err := d.Dial("tcp", target)
 			if err != nil {
+				failN.Add(1)
+				return
+			}
+			c, err := wsaff.NewClient(nc, "/")
+			if err != nil {
+				nc.Close()
 				failN.Add(1)
 				return
 			}
@@ -159,17 +182,25 @@ func runWSBench(o wsOpts) error {
 			heldMu.Lock()
 			heldClients = append(heldClients, c)
 			heldMu.Unlock()
-			heldWG.Add(1)
-			go func() {
-				defer heldWG.Done()
-				for {
-					op, _, err := c.ReadMessage() // auto-pongs pings
-					if err != nil || op == wsaff.OpClose {
-						return
+			// A reader goroutine exists only when broadcasts will arrive.
+			// With no publisher a held client is pure socket: the bench
+			// process itself then demonstrates the O(workers) goroutine
+			// bound the event loop buys — CI asserts the sampled count.
+			// (Server pings start at 30s, past any bench window, so an
+			// unread socket never misses a pong within the run.)
+			if o.broadcastEvery > 0 {
+				heldWG.Add(1)
+				go func() {
+					defer heldWG.Done()
+					for {
+						op, _, err := c.ReadMessage() // auto-pongs pings
+						if err != nil || op == wsaff.OpClose {
+							return
+						}
+						bcastGot.Add(1)
 					}
-					bcastGot.Add(1)
-				}
-			}()
+				}()
+			}
 		}()
 	}
 	dialWG.Wait()
@@ -241,6 +272,19 @@ func runWSBench(o wsOpts) error {
 	for time.Now().Before(stop) {
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Sample the process goroutine count while the held population is at
+	// its peak: with the event loop parking conns, the total is
+	// O(workers) + O(active clients), never O(held). Also record the
+	// worst per-worker coarse-clock staleness (bounded by the loops'
+	// poll interval).
+	goroutines := runtime.NumGoroutine()
+	var clockLagUs float64
+	tr := srv.Transport()
+	for i := 0; i < o.workers; i++ {
+		if lag := float64(time.Since(tr.CoarseNow(i)).Microseconds()); lag > clockLagUs {
+			clockLagUs = lag
+		}
+	}
 	close(bcastStop)
 	wg.Wait()
 	parked := srv.Transport().Parked()
@@ -279,6 +323,8 @@ func runWSBench(o wsOpts) error {
 	fmt.Println()
 	fmt.Printf("locality: %.1f%% of %d passes on the owning worker; %d migrations, %d requeues, %d parked at window end\n",
 		st.LocalityPct(), st.Served, st.Migrations, st.Requeued, parked)
+	fmt.Printf("process: %d goroutines with %d sockets held open; coarse clock at most %.0fus stale\n",
+		goroutines, heldN.Load(), clockLagUs)
 	fmt.Printf("wsaff: %d frames in / %d out, %d pings, %d pongs, %d broadcasts (%d delivered, %d shard drops), codec reuse %.1f%%\n",
 		wsStats.FramesIn, wsStats.FramesOut, wsStats.PingsSent, wsStats.PongsReceived,
 		wsStats.Broadcasts, wsStats.Delivered, wsStats.Dropped, wsStats.Pool.ReusePct())
@@ -314,6 +360,10 @@ func runWSBench(o wsOpts) error {
 		WSBroadcasts: wsStats.Broadcasts,
 		WSDelivered:  wsStats.Delivered,
 		WSReceived:   bcastGot.Load(),
+
+		HeldConns:        heldN.Load(),
+		Goroutines:       goroutines,
+		CoarseClockLagUs: clockLagUs,
 	}
 	rep.fillEnv()
 	if o.jsonPath != "" {

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // headerField is one parsed request header; key and value alias the
@@ -283,11 +284,19 @@ func (ctx *RequestCtx) RawFlush() error { return ctx.flush() }
 // such as the transport's connection budget.
 func (ctx *RequestCtx) Server() *Server { return ctx.srv }
 
+// CoarseNow returns the serving worker's coarse clock — wall time as of
+// that worker's last event-loop iteration, at most ~50ms stale.
+// Handlers and sibling layers (proxyaff's health ejection and exchange
+// deadlines) use it instead of time.Now when per-request clock reads
+// would otherwise pile up; deadlines and health windows are hundreds of
+// milliseconds and up, so the slack is noise.
+func (ctx *RequestCtx) CoarseNow() time.Time { return ctx.srv.srv.CoarseNow(ctx.worker) }
+
 // NotifyParkClose registers fn to run when the serve layer closes this
 // connection while it is parked between passes — shed LIFO under
 // descriptor or budget pressure, peer vanished mid-park, or shutdown
 // swept the parked population. fn runs once, on the closing goroutine
-// (a parker or an acceptor), and must not block. Layers that register
+// (a worker's event loop or an acceptor), and must not block. Layers that register
 // parked connections in their own indexes (wsaff's shards) use it to
 // unregister immediately instead of waiting for a keep-alive probe to
 // find the corpse. It is not called when the handler side closes the

@@ -81,7 +81,10 @@ type Config struct {
 	MaxRequestsPerConn int
 
 	// IdleTimeout closes a keep-alive connection parked longer than
-	// this between requests (0 = no limit).
+	// this between requests (0 = no limit). Enforced twice over: as the
+	// transport read deadline, and as the park deadline the owning
+	// worker's event-loop sweep reaps without waking anything (see
+	// serve.ParkDeadliner).
 	IdleTimeout time.Duration
 	// ReadTimeout bounds reading one request once the connection
 	// blocks for more bytes (0 = fall back to IdleTimeout; a
@@ -371,10 +374,28 @@ type conn struct {
 
 	// onParkClose, set via RequestCtx.NotifyParkClose, fires when the
 	// serve layer closes this connection while parked — shed under
-	// descriptor or budget pressure, peer gone, or shutdown. See
-	// serve.ParkCloseNotifier for the contract.
+	// descriptor or budget pressure, idle deadline, peer gone, or
+	// shutdown. See serve.ParkCloseNotifier for the contract.
 	onParkClose func()
+
+	// parkDL mirrors the most recently armed read deadline, so the
+	// serve layer's park-deadline sweep (serve.ParkDeadliner) enforces
+	// the same instant the transport would. The last deadline armed
+	// before a Requeue is always the park/idle deadline.
+	parkDL time.Time
 }
+
+// SetReadDeadline records the deadline for the park sweep and forwards
+// it to the transport.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.parkDL = t
+	return c.Conn.SetReadDeadline(t)
+}
+
+// ParkDeadline implements serve.ParkDeadliner: the owning worker's
+// event loop closes this connection if it is still parked past the
+// deadline, without spending a goroutine on the wait.
+func (c *conn) ParkDeadline() time.Time { return c.parkDL }
 
 // ParkClosed implements serve.ParkCloseNotifier by forwarding to the
 // registered hook, so layers that index parked connections (wsaff's
@@ -401,6 +422,15 @@ func (c *conn) Read(b []byte) (int, error) {
 // InputPending reports whether post-upgrade residual bytes are queued
 // for replay; see the serve layer's park wrapper for the contract.
 func (c *conn) InputPending() bool { return len(c.residual) > 0 }
+
+// NetConn exposes the wrapped transport connection. The serve layer's
+// event loop unwraps through NetConn links to reach the raw descriptor
+// it registers with the poller — without this hop every httpaff (and
+// wsaff, which parks through this wrapper) connection would silently
+// degrade to the parker-goroutine fallback. A pending residual replay
+// never races the poller: the park path refuses to park a connection
+// whose InputPending reports buffered bytes.
+func (c *conn) NetConn() net.Conn { return c.Conn }
 
 // unwrap recovers the state wrapper from whatever the serve layer hands
 // the handler: the wrapper itself on the first pass, or the park
@@ -475,12 +505,13 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		return
 	}
 	// Input drained: arm the idle deadline (or clear the request read
-	// deadline) and hand the connection back. The next request byte
-	// re-routes it through the flow table, so a migrated group's
-	// connection comes back on the new owning worker.
+	// deadline) and hand the connection back. The next request bytes
+	// re-route it through the flow table, so a migrated group's
+	// connection comes back on the new owning worker. The base is the
+	// worker's coarse clock — no time.Now on the park path.
 	var dl time.Time
 	if s.cfg.IdleTimeout > 0 {
-		dl = time.Now().Add(s.cfg.IdleTimeout)
+		dl = s.srv.CoarseNow(worker).Add(s.cfg.IdleTimeout)
 	}
 	nc.SetReadDeadline(dl)
 	if !s.srv.Requeue(nc) {

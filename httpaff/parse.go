@@ -90,7 +90,11 @@ func (ctx *RequestCtx) armDeadline(timeout time.Duration) {
 	}
 	var dl time.Time
 	if timeout > 0 {
-		dl = time.Now().Add(timeout)
+		// The worker's coarse clock (one stamp per event-loop
+		// iteration, ≤~50ms stale) replaces a time.Now call per
+		// request; deadlines are hundreds of milliseconds and up, so
+		// the slack is noise.
+		dl = ctx.srv.srv.CoarseNow(ctx.worker).Add(timeout)
 	}
 	ctx.conn.SetReadDeadline(dl)
 }

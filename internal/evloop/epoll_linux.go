@@ -1,0 +1,272 @@
+//go:build linux
+
+package evloop
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// poller is one epoll(7) instance plus a self-pipe for shutdown wakeup
+// (closing an epoll descriptor does not unblock epoll_wait). Interest
+// is edge-triggered EPOLLIN|EPOLLRDHUP|EPOLLET, registered once per
+// connection on its first park and kept until Retire: re-parking a
+// keep-alive connection costs zero syscalls, and an event for an
+// unarmed (being-served) handle is simply dropped. The classic ET
+// lost-wakeup hazard — input arriving while unarmed fires an edge into
+// a dropped event, and no new edge comes until new bytes do — is
+// closed by the MSG_PEEK probes: ReadyNow at Requeue and the post-arm
+// probe in Arm observe the buffered input directly.
+type poller struct {
+	epfd  int
+	wakeR int
+	wakeW int
+
+	// evbuf is Poll's reusable event buffer. Poll has a single caller
+	// by contract (the loop's worker), so no lock guards it; the loop
+	// goroutine's run() keeps its own buffer.
+	evbuf []syscall.EpollEvent
+}
+
+// newPoller returns nil when epoll is unavailable (restricted sandbox);
+// the loop then runs portably.
+func newPoller() *poller {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil
+	}
+	p := &poller{epfd: epfd, wakeR: pipe[0], wakeW: pipe[1],
+		evbuf: make([]syscall.EpollEvent, 64)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		p.close()
+		return nil
+	}
+	return p
+}
+
+// epollET is EPOLLET as the positive uint32 bit; the syscall package
+// spells it as a negative int constant, which won't assign to Events.
+const epollET = 1 << 31
+
+// add registers a descriptor, edge-triggered, for the connection's
+// lifetime. The event stashes the registration's low-order park-
+// sequence bits so a stale event for a recycled descriptor number is
+// detectable at delivery. If the descriptor is already readable, the
+// kernel queues an initial event at ADD time — a fresh registration
+// therefore needs no race-closing probe.
+func (p *poller) add(fd int, seq uint64) error {
+	ev := syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | epollET,
+		Fd:     int32(fd),
+		Pad:    int32(uint32(seq)),
+	}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev)
+}
+
+// del drops a descriptor from the interest set. Best-effort: a closed
+// descriptor has already removed itself.
+func (p *poller) del(fd int) {
+	var ev syscall.EpollEvent
+	syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, &ev)
+}
+
+// wakeup unblocks epoll_wait via the self-pipe.
+func (p *poller) wakeup() {
+	var b [1]byte
+	syscall.Write(p.wakeW, b[:])
+}
+
+func (p *poller) close() {
+	syscall.Close(p.epfd)
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+}
+
+// Poll drains readiness events that are already pending, without
+// blocking: an epoll_wait with a zero timeout returns immediately, so
+// the calling goroutine never surrenders its P the way the loop
+// goroutine's blocking wait does. The serve layer calls it from a
+// worker's idle loop — on a loaded machine (think GOMAXPROCS=1) parked
+// wakes are then delivered inline by the worker itself, with no
+// M-handoff out of a blocked epoll_wait, while the loop goroutine
+// remains the delivery path when every worker is asleep. Poll reports
+// how many events it delivered.
+//
+// Contract: one caller at a time (the loop's owning worker). Racing the
+// loop goroutine is safe — delivery is idempotent per park, the
+// armed/tag check in deliver drops an event the other path handled —
+// but the event buffer is deliberately unsynchronized.
+func (l *Loop) Poll() int {
+	p := l.p
+	if p == nil || l.closedFlag.Load() {
+		return 0
+	}
+	n, err := syscall.EpollWait(p.epfd, p.evbuf, 0)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	delivered := 0
+	for i := 0; i < n; i++ {
+		ev := &p.evbuf[i]
+		if int(ev.Fd) == p.wakeR {
+			continue // shutdown signal: left unread for the loop goroutine
+		}
+		if l.deliver(ev.Fd, ev.Pad) {
+			delivered++
+		}
+	}
+	return delivered
+}
+
+// probeReadable reports whether the descriptor has input deliverable
+// right now — data, EOF, or a pending transport error — without
+// consuming anything: one non-blocking MSG_PEEK into the handle's wake
+// buffer (resident in the handle, so the probe allocates nothing; the
+// same idiom as proxyaff's checkout liveness peek). Only EAGAIN (open
+// and quiet — the park case) and EINTR report false.
+func (h *Handle) probeReadable() bool {
+	n, _, errno := syscall.Syscall6(syscall.SYS_RECVFROM, uintptr(h.fd),
+		uintptr(unsafe.Pointer(&h.buf[0])), 1,
+		syscall.MSG_PEEK|syscall.MSG_DONTWAIT, 0, 0)
+	_ = n
+	return errno != syscall.EAGAIN && errno != syscall.EINTR
+}
+
+// run is the epoll loop goroutine. EPOLLERR/EPOLLHUP/EPOLLRDHUP are
+// delivered as readability like EPOLLIN — the woken handler's next read
+// observes the EOF or error and closes the connection on its normal
+// path. It prefers the netpolled wait (see runNetpolled); if the
+// runtime cannot poll an epoll descriptor it degrades to a goroutine
+// blocked in raw epoll_wait, which is correct but pays an OS thread
+// wake per delivery batch.
+func (l *Loop) run() {
+	defer close(l.done)
+	if l.runNetpolled() {
+		return
+	}
+	l.runBlocking()
+}
+
+// runNetpolled waits for events by registering the epoll descriptor
+// itself with the Go runtime's netpoller (an epoll instance is a
+// pollable descriptor: it reads as readable while events are pending).
+// That one level of indirection matters enormously under CPU
+// contention: the loop goroutine parks like any other netpoller waiter,
+// so an idle scheduler thread discovers the readable epfd inline in
+// findrunnable and runs the delivery on the spot — no OS thread sits
+// blocked in epoll_wait needing a kernel wake and an M/P handoff per
+// batch (on GOMAXPROCS=1 that handoff throttled the whole server).
+// The wait deadline doubles as the coarse-clock tick. Reports false,
+// having delivered nothing, if the runtime refuses the registration —
+// the caller then falls back to runBlocking.
+func (l *Loop) runNetpolled() bool {
+	dupfd, err := syscall.Dup(l.p.epfd)
+	if err != nil {
+		return false
+	}
+	// A nonblocking descriptor tells os.NewFile to try the runtime
+	// poller rather than treating the file as blocking.
+	if err := syscall.SetNonblock(dupfd, true); err != nil {
+		syscall.Close(dupfd)
+		return false
+	}
+	f := os.NewFile(uintptr(dupfd), "evloop-epfd")
+	if f == nil {
+		syscall.Close(dupfd)
+		return false
+	}
+	defer f.Close()
+	if f.SetReadDeadline(time.Now().Add(pollInterval)) != nil {
+		return false // not pollable on this runtime/kernel
+	}
+	rc, err := f.SyscallConn()
+	if err != nil {
+		return false
+	}
+	events := make([]syscall.EpollEvent, 128)
+	// One closure for the life of the loop — allocating it (and the
+	// harvest count it captures) per iteration would cost two heap
+	// objects per delivery batch, which the zero-alloc gates notice.
+	var n int
+	harvest := func(uintptr) bool {
+		// Harvest without blocking; an empty harvest parks in the
+		// netpoller until the epfd reports readable again. Events the
+		// workers' inline Poll already drained land here as an empty
+		// harvest, not a stale delivery.
+		n, _ = syscall.EpollWait(l.p.epfd, events, 0)
+		return n > 0 || l.closedFlag.Load()
+	}
+	lastSweep := time.Now().UnixNano()
+	for {
+		n = 0
+		f.SetReadDeadline(time.Now().Add(pollInterval))
+		rerr := rc.Read(harvest)
+		now := time.Now().UnixNano()
+		l.clock.Store(now)
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			if int(ev.Fd) == l.p.wakeR {
+				var buf [16]byte
+				syscall.Read(l.p.wakeR, buf[:])
+				continue
+			}
+			l.deliver(ev.Fd, ev.Pad)
+		}
+		if l.closedFlag.Load() {
+			return true
+		}
+		if rerr != nil && !errors.Is(rerr, os.ErrDeadlineExceeded) {
+			// The netpoller wait itself failed; the raw loop still
+			// works, so degrade rather than stop delivering.
+			return false
+		}
+		if now-lastSweep >= int64(sweepInterval) {
+			lastSweep = now
+			l.sweep(now)
+		}
+	}
+}
+
+// runBlocking waits in raw epoll_wait (bounded by pollInterval so the
+// coarse clock stays fresh), stamps the clock, delivers the batch, and
+// sweeps deadlines.
+func (l *Loop) runBlocking() {
+	events := make([]syscall.EpollEvent, 128)
+	lastSweep := time.Now().UnixNano()
+	for {
+		n, err := syscall.EpollWait(l.p.epfd, events, int(pollInterval/time.Millisecond))
+		now := time.Now().UnixNano()
+		l.clock.Store(now)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			if int(ev.Fd) == l.p.wakeR {
+				var buf [16]byte
+				syscall.Read(l.p.wakeR, buf[:])
+				continue
+			}
+			l.deliver(ev.Fd, ev.Pad)
+		}
+		if l.closedFlag.Load() {
+			return
+		}
+		if now-lastSweep >= int64(sweepInterval) {
+			lastSweep = now
+			l.sweep(now)
+		}
+	}
+}

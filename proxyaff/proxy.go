@@ -281,7 +281,7 @@ func (p *Proxy) Close() {
 // preferred backend, falling through ejected ones in order. When every
 // backend is ejected the preferred one is picked anyway — with nothing
 // healthy the request doubles as the earliest possible re-probe.
-func (p *Proxy) pick(w *proxyWorker, wid int) *backendState {
+func (p *Proxy) pick(w *proxyWorker, wid int, now int64) *backendState {
 	n := len(p.backends)
 	var start int
 	if p.cfg.Policy == WorkerPinned {
@@ -290,7 +290,6 @@ func (p *Proxy) pick(w *proxyWorker, wid int) *backendState {
 		start = int(w.rr % uint32(n))
 		w.rr++
 	}
-	now := time.Now().UnixNano()
 	for i := 0; i < n; i++ {
 		if b := &p.backends[(start+i)%n]; !b.ejected(now) {
 			return b
@@ -365,9 +364,13 @@ func (p *Proxy) Serve(ctx *httpaff.RequestCtx) {
 	// yielding a single response byte the request is provably unserved
 	// and safe to repeat on a fresh connection. A failed fresh dial
 	// also consumes an attempt, re-picking around the ejection.
+	// The worker's coarse clock (stamped once per event-loop iteration)
+	// serves both the ejection-window checks and the exchange deadline:
+	// no per-request time.Now in the proxy hot path.
+	now := ctx.CoarseNow()
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		b := p.pick(w, wid)
+		b := p.pick(w, wid, now.UnixNano())
 		uc, reused, err := w.pool.get(b.addr)
 		if err == errPoolExhausted {
 			respondError(ctx, http.StatusServiceUnavailable, "upstream pool exhausted")
@@ -416,7 +419,7 @@ const (
 // and the failure was a stale reused connection, safe to repeat.
 func (p *Proxy) exchange(ctx *httpaff.RequestCtx, w *proxyWorker, uc *upstreamConn, b *backendState, reused bool) (done, retry bool, ferr error) {
 	if p.cfg.ExchangeTimeout > 0 {
-		uc.c.SetDeadline(time.Now().Add(p.cfg.ExchangeTimeout))
+		uc.c.SetDeadline(ctx.CoarseNow().Add(p.cfg.ExchangeTimeout))
 	}
 
 	// ---- forward: request line + non-hop-by-hop headers, verbatim ----

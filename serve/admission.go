@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync/atomic"
 	"syscall"
+
+	"affinityaccept/internal/evloop"
 )
 
 // ParkCloseNotifier is implemented by connection values that want a
@@ -14,8 +16,9 @@ import (
 // layers that index parked connections in their own registries (the
 // wsaff shards) use it to unregister immediately instead of waiting
 // for a keep-alive probe to discover the corpse. The callback runs on
-// the goroutine doing the close (a parker or an acceptor) and must not
-// block; it is never invoked for connections the handler itself closes.
+// the goroutine doing the close (an event loop or an acceptor) and must
+// not block; it is never invoked for connections the handler itself
+// closes.
 type ParkCloseNotifier interface {
 	ParkClosed()
 }
@@ -64,7 +67,7 @@ func (b *budgetConn) NetConn() net.Conn { return b.Conn }
 func (s *Server) admitBudget(conn net.Conn) net.Conn {
 	n := s.live.Add(1)
 	if n > int64(s.cfg.MaxConns) {
-		if !s.parked.shedNewest() {
+		if !s.shedNewestParked() {
 			s.live.Add(-1)
 			s.budgetRejected.Add(1)
 			conn.Close()
@@ -96,12 +99,41 @@ func (s *Server) notePeak() {
 func (s *Server) shedParkedConns(n int) int {
 	shed := 0
 	for ; shed < n; shed++ {
-		if !s.parked.shedNewest() {
+		if !s.shedNewestParked() {
 			break
 		}
 	}
 	s.shedParked.Add(uint64(shed))
 	return shed
+}
+
+// shedNewestParked closes the most recently parked connection in the
+// whole server — the global LIFO victim. Park order is a monotonic
+// sequence across the per-worker loops, so the victim is simply the
+// loop head with the largest sequence: O(workers) per shed, against the
+// old design's single global lock on every park. The close is
+// synchronous (the caller gets the descriptor back before its next
+// accept) and fires the victim's ParkCloseNotifier.
+func (s *Server) shedNewestParked() bool {
+	// Two attempts: between reading the heads and detaching, the chosen
+	// loop's head can wake and drain; rescan once before giving up.
+	for attempt := 0; attempt < 2; attempt++ {
+		var best *evloop.Loop
+		var bestSeq uint64
+		for _, l := range s.loops {
+			if seq, ok := l.NewestSeq(); ok && (best == nil || seq > bestSeq) {
+				best, bestSeq = l, seq
+			}
+		}
+		if best == nil {
+			return false
+		}
+		if c, ok := best.ShedNewest(); ok {
+			s.closeParked(c.(*parkedConn))
+			return true
+		}
+	}
+	return false
 }
 
 // ChargeConn charges (delta > 0) or releases (delta < 0) descriptors
@@ -120,7 +152,7 @@ func (s *Server) ChargeConn(delta int) {
 		return
 	}
 	for over := n - int64(s.cfg.MaxConns); over > 0; over-- {
-		if !s.parked.shedNewest() {
+		if !s.shedNewestParked() {
 			break
 		}
 		s.shedParked.Add(1)

@@ -2,43 +2,57 @@ package serve
 
 import (
 	"net"
-	"sync"
+	"time"
 
-	"affinityaccept/internal/stats"
+	"affinityaccept/internal/evloop"
 )
 
+// forcePortableParking makes New build its park loops without the
+// platform poller, so every parked connection runs the portable
+// parker-goroutine path. Tests flip it to prove the two evloop
+// implementations are behaviorally identical.
+var forcePortableParking = false
+
+// ParkDeadliner is implemented by connection values that carry an idle
+// deadline for their parked phase. Requeue consults the outermost
+// implementation in the wrapper chain at park time; a parked connection
+// whose deadline passes is closed by its worker's event-loop sweep (and
+// its ParkCloseNotifier fires). The httpaff layer implements it from
+// Config.IdleTimeout. A zero deadline means the connection may park
+// forever — the million-held-sockets configuration.
+type ParkDeadliner interface {
+	ParkDeadline() time.Time
+}
+
 // parkedConn wraps a requeued keep-alive connection while it waits for
-// its next request. The park goroutine blocks on a one-byte read — the
-// only portable "wait until readable" Go offers — and the byte is
-// replayed to the handler through Read. The wrapper is reused across
-// requeue passes so a long-lived connection never accretes nesting, and
-// so is its parker goroutine: parkCh hands the connection back to one
-// persistent per-connection goroutine (spawned on the first Requeue)
-// instead of spawning a fresh goroutine per park, which would put a
-// closure allocation on every keep-alive pass.
+// its next request on a worker's event loop. The wrapper is reused
+// across requeue passes so a long-lived connection never accretes
+// nesting, and its evloop.Handle is embedded by value, so parking
+// allocates nothing after the first pass. On Linux the handle is an
+// epoll registration — a million parked sockets cost O(workers)
+// goroutines; descriptorless transports (net.Pipe in tests) and
+// non-Linux builds fall back to the handle's parker goroutine.
 type parkedConn struct {
 	net.Conn
-	head      byte
-	has       bool
-	wakeBuf   [1]byte       // park's read scratch: a field, so the interface Read cannot heap-escape it per pass
-	parkCh    chan struct{} // buffered(1): signals the parker to take ownership
-	closeOnce sync.Once
+	h evloop.Handle
 
-	// newer/older link the connection into the parkSet's intrusive
-	// park-order list (guarded by parkSet.mu). The list is what makes
-	// LIFO shedding O(1): under descriptor or budget pressure the
-	// *newest* parked connection is reclaimed, so the longest-idle
-	// survivors — the ones whose continued existence is cheapest and
-	// whose flow-group state is warmest — are kept.
-	newer, older *parkedConn
+	// loop is the index of the last loop the connection parked on.
+	// While the handle holds a persistent poller registration the
+	// connection must keep parking there — its readability events
+	// arrive on that loop — even if its flow group has since migrated;
+	// the wake path re-routes through the flow table regardless, so
+	// migration semantics don't depend on the park loop. -1 until the
+	// first park.
+	loop int32
 }
 
 // Close is the handler's half of the ownership contract: a handler
 // finishes a connection either by a successful Requeue (the server owns
-// it) or by Close — never both. Closing retires the persistent parker
-// goroutine along with the transport connection.
+// it) or by Close — never both. Closing retires the handle's fallback
+// parker goroutine, if it ever grew one, along with the transport
+// connection.
 func (p *parkedConn) Close() error {
-	p.closeOnce.Do(func() { close(p.parkCh) })
+	p.h.Retire()
 	return p.Conn.Close()
 }
 
@@ -49,13 +63,20 @@ func (p *parkedConn) Close() error {
 // handler receives the park wrapper instead of the original value.
 func (p *parkedConn) NetConn() net.Conn { return p.Conn }
 
-// InputPending reports whether replayable input — the park wake-up
-// byte, or bytes a lower wrapper buffered — is queued ahead of the
-// transport. Handlers that serve discrete protocol units per pass (the
-// wsaff frame loop) use it to decide between reading and re-parking
-// without risking a blocking read on a connection that sent nothing.
+// CoarseNow exposes the owning worker's coarse clock — stamped once per
+// event-loop iteration instead of a time.Now call per request. Layers
+// above use it to arm idle and read deadlines cheaply; it lags the wall
+// clock by at most one loop iteration (~50ms).
+func (p *parkedConn) CoarseNow() time.Time { return p.h.Clock() }
+
+// InputPending reports whether replayable input — a fallback wake-up
+// byte, poller-reported readability, or bytes a lower wrapper buffered
+// — is queued ahead of the transport. Handlers that serve discrete
+// protocol units per pass (the wsaff frame loop) use it to decide
+// between reading and re-parking without risking a blocking read on a
+// connection that sent nothing.
 func (p *parkedConn) InputPending() bool {
-	if p.has {
+	if p.h.Pending() {
 		return true
 	}
 	if ip, ok := p.Conn.(interface{ InputPending() bool }); ok {
@@ -65,126 +86,12 @@ func (p *parkedConn) InputPending() bool {
 }
 
 func (p *parkedConn) Read(b []byte) (int, error) {
-	if p.has {
-		if len(b) == 0 {
-			return 0, nil
-		}
-		b[0] = p.head
-		p.has = false
-		return 1, nil
+	if n, ok := p.h.Replay(b); ok {
+		return n, nil
 	}
+	p.h.ClearReadable()
 	return p.Conn.Read(b)
 }
-
-// parkSet tracks connections currently parked (waiting for their next
-// request between requeue passes). Shutdown closes every parked
-// connection — their park goroutines then unblock and exit — and waits
-// for in-flight park goroutines to finish pushing before the worker
-// drain begins, so no connection is pushed onto a queue after the
-// workers have exited.
-type parkSet struct {
-	mu     sync.Mutex
-	conns  map[*parkedConn]struct{}
-	newest *parkedConn // head of the intrusive LIFO list (park order)
-	closed bool
-	wg     sync.WaitGroup
-
-	// parked gauges how many connections are waiting between passes
-	// right now — the held-open population a long-lived workload (the
-	// wsaff layer's mostly-idle sockets) keeps against the server.
-	parked stats.Gauge
-}
-
-func newParkSet() *parkSet {
-	return &parkSet{conns: make(map[*parkedConn]struct{})}
-}
-
-// add registers a connection about to park. It reports false — and
-// registers nothing — once closeAll has run; the caller then still owns
-// the connection.
-func (ps *parkSet) add(p *parkedConn) bool {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	if ps.closed {
-		return false
-	}
-	ps.conns[p] = struct{}{}
-	p.older = ps.newest
-	p.newer = nil
-	if ps.newest != nil {
-		ps.newest.newer = p
-	}
-	ps.newest = p
-	ps.wg.Add(1)
-	ps.parked.Inc()
-	return true
-}
-
-// remove unregisters a connection whose park read completed and reports
-// whether it was still registered — false means the shedding policy
-// reclaimed (and closed) it first, and the caller must not route it.
-// On true the park goroutine still owns it until push or close, and
-// must call done.
-func (ps *parkSet) remove(p *parkedConn) bool {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	if _, ok := ps.conns[p]; !ok {
-		return false
-	}
-	ps.removeLocked(p)
-	return true
-}
-
-func (ps *parkSet) removeLocked(p *parkedConn) {
-	delete(ps.conns, p)
-	if p.newer != nil {
-		p.newer.older = p.older
-	} else {
-		ps.newest = p.older
-	}
-	if p.older != nil {
-		p.older.newer = p.newer
-	}
-	p.newer, p.older = nil, nil
-	ps.parked.Dec()
-}
-
-// shedNewest unregisters and closes the most recently parked
-// connection — the LIFO victim — reporting whether there was one. The
-// close is synchronous, so the caller (an acceptor under fd or budget
-// pressure) gets the descriptor back before its next accept; the
-// victim's parker then wakes with a read error and retires itself, and
-// any ParkCloseNotifier fires from there.
-func (ps *parkSet) shedNewest() bool {
-	ps.mu.Lock()
-	p := ps.newest
-	if p != nil {
-		ps.removeLocked(p)
-	}
-	ps.mu.Unlock()
-	if p == nil {
-		return false
-	}
-	p.Conn.Close()
-	return true
-}
-
-func (ps *parkSet) done() { ps.wg.Done() }
-
-// closeAll rejects future parks and closes every currently parked
-// connection, unblocking their park reads.
-func (ps *parkSet) closeAll() {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	ps.closed = true
-	for p := range ps.conns {
-		p.Conn.Close()
-	}
-}
-
-// wait blocks until every in-flight park goroutine has finished
-// (pushed its connection or closed it).
-func (ps *parkSet) wait() { ps.wg.Wait() }
 
 // Requeue returns a still-open connection to the server for another
 // handler pass — the keep-alive path that makes flow-group migration
@@ -192,82 +99,107 @@ func (ps *parkSet) wait() { ps.wg.Wait() }
 // group migrates, the connection's next request is served by the new
 // owning worker instead of being stolen remotely forever.
 //
-// The server parks the connection until its next request byte arrives,
-// then routes it through the flow table onto the owning worker's queue;
-// the handler sees the byte again. Requeue reports false when the
-// server is shutting down — the caller then still owns the connection
-// and must close it. After a successful Requeue the server owns the
-// connection; if its queue overflows or the peer disconnects while
-// parked, the server closes it.
+// The connection parks on the event loop of the worker currently owning
+// its flow group; when its next request bytes arrive the loop re-routes
+// it through the flow table onto the (possibly different, post-
+// migration) owner's queue. Requeue reports false when the server is
+// shutting down — the caller then still owns the connection and must
+// close it. After a successful Requeue the server owns the connection;
+// if its queue overflows, its park deadline passes, or the peer
+// disconnects while parked, the server closes it.
 func (s *Server) Requeue(conn net.Conn) bool {
 	p, ok := conn.(*parkedConn)
-	fresh := !ok
-	if fresh {
-		p = &parkedConn{Conn: conn, parkCh: make(chan struct{}, 1)}
+	if !ok {
+		p = &parkedConn{Conn: conn, loop: -1}
+		p.h.Init(p)
 	}
-	if !s.parked.add(p) {
-		return false // no parker spawned yet for a fresh conn: p is plain garbage
+	// Fast path: a pipelined client's next request (or its EOF) has
+	// usually arrived by the time the handler requeues. One MSG_PEEK
+	// detects that and routes the connection straight back onto the
+	// owning worker's queue — no epoll registration, no loop-goroutine
+	// hop. The Closed guard keeps shutdown's contract: once the loops
+	// have closed, Requeue refuses rather than feeding the drained
+	// queues forever. (Loops close together; checking the first is
+	// enough, and Arm re-checks its own loop authoritatively.)
+	if !s.loops[0].Closed() && p.h.ReadyNow() {
+		s.requeued.Add(1)
+		s.parkWake(p)
+		return true
 	}
+	w := s.parkWorker(p)
+	if !s.loops[w].Arm(&p.h, parkDeadline(p.Conn)) {
+		return false // shutting down: nothing registered, p is plain garbage when fresh
+	}
+	p.loop = int32(w)
 	s.requeued.Add(1)
-	if fresh {
-		go s.parkLoop(p)
-	}
-	p.parkCh <- struct{}{}
 	return true
 }
 
-// parkLoop is a connection's persistent parker: it owns the connection
-// between a Requeue and the next request byte, once per signal on
-// parkCh. It exits when the connection finishes — park saw EOF or shed
-// it, or the handler Closed the wrapper (closing parkCh).
-func (s *Server) parkLoop(p *parkedConn) {
-	for range p.parkCh {
-		if !s.park(p) {
-			return
-		}
+// parkWorker picks the loop a connection parks on: the worker that owns
+// its flow group right now — unless the handle already holds a poller
+// registration, which pins it to the registration's loop (arming a
+// registered handle elsewhere would split its list and event state
+// across two loops). No load is charged here — the charge happens at
+// wake time, in route, so a group that migrates while the connection is
+// parked bills the wake to the new owner either way.
+func (s *Server) parkWorker(p *parkedConn) int {
+	if p.loop >= 0 && p.h.Registered() {
+		return int(p.loop)
 	}
+	if addr, ok := p.RemoteAddr().(*net.TCPAddr); ok {
+		return s.flow.CoreForPort(uint16(addr.Port))
+	}
+	return int(s.rr.Add(1)-1) % s.cfg.Workers
 }
 
-// park waits for the connection's next request byte, then routes it
-// back into the balancer, reporting whether the connection is still
-// live. A handler may requeue without having consumed the replayed byte
-// (responding early, backpressure); that byte is still the next unread
-// input, so the connection re-routes immediately instead of reading —
-// and losing — a second byte.
-func (s *Server) park(p *parkedConn) (alive bool) {
-	defer s.parked.done()
-	if !p.has {
-		n, err := p.Conn.Read(p.wakeBuf[:])
-		if err != nil || n == 0 {
-			s.parked.remove(p)
-			p.Conn.Close() // peer gone, shed, or Shutdown closed us mid-park
-			notifyParkClosed(p.Conn)
-			return false
+// parkDeadline finds the wrapper chain's ParkDeadliner, if any.
+func parkDeadline(c net.Conn) time.Time {
+	for c != nil {
+		if d, ok := c.(ParkDeadliner); ok {
+			return d.ParkDeadline()
 		}
-		p.head, p.has = p.wakeBuf[0], true
+		u, ok := c.(interface{ NetConn() net.Conn })
+		if !ok {
+			break
+		}
+		c = u.NetConn()
 	}
-	if !s.parked.remove(p) {
-		// Shedding reclaimed this connection between its wake-up byte
-		// and here; it is already closed. Do not route a corpse.
-		p.Conn.Close()
-		notifyParkClosed(p.Conn)
-		return false
-	}
+	return time.Time{}
+}
+
+// parkWake is the loops' Ready callback: a parked connection's next
+// request bytes arrived. Route it through the flow table — the same
+// authority accept-time routing uses, so a group that migrated while
+// the connection was parked steers it to its new owner — and push it
+// onto that worker's queue.
+func (s *Server) parkWake(c net.Conn) {
+	p := c.(*parkedConn)
 	worker := s.route(p)
 	if !s.bal.Push(worker, p) {
-		p.Conn.Close() // queue overflow: shed load, as at accept time
-		notifyParkClosed(p.Conn)
-		return false
+		s.closeParked(p) // queue overflow: shed load, as at accept time
+		return
 	}
 	s.wakeWorkers()
-	return true
+}
+
+// parkDead is the loops' Dead callback: the loop gave up on a parked
+// connection — peer gone, park deadline expired, or shutdown swept it.
+func (s *Server) parkDead(c net.Conn) {
+	s.closeParked(c.(*parkedConn))
+}
+
+// closeParked closes a parked connection server-side and fires its
+// ParkCloseNotifier. Every parked connection that dies does so through
+// here (or through a handler that received it back), so the notifier
+// fires exactly once whichever policy — peer EOF, deadline, shed,
+// shutdown, queue overflow — pulled the trigger.
+func (s *Server) closeParked(p *parkedConn) {
+	p.Close()
+	notifyParkClosed(p.Conn)
 }
 
 // notifyParkClosed fires the connection's ParkCloseNotifier, if it has
-// one, after a server-side close of a parked connection. Exactly one
-// call per connection: every parked connection that dies does so
-// through its parker's exit path above, whichever policy (peer EOF,
-// shed, shutdown, queue overflow) pulled the trigger.
+// one, after a server-side close of a parked connection.
 func notifyParkClosed(c net.Conn) {
 	if n, ok := c.(ParkCloseNotifier); ok {
 		n.ParkClosed()

@@ -106,53 +106,108 @@ func TestRequeueConcurrentWithShutdown(t *testing.T) {
 	}
 }
 
-// TestParkSetCloseAllRacesRemove drives the parkSet's add / remove /
-// closeAll paths from many goroutines at once — the exact interleaving
-// Shutdown produces when park reads complete while closeAll walks the
-// map. Under -race this proves the locking; in any mode it proves the
-// contract: add never succeeds after closeAll, and wait returns only
-// after every successful add was matched by done.
-func TestParkSetCloseAllRacesRemove(t *testing.T) {
-	for round := 0; round < 50; round++ {
-		ps := newParkSet()
-		const parkers = 8
-		var added, finished atomic.Int64
-		var wg sync.WaitGroup
-		for i := 0; i < parkers; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := 0; j < 20; j++ {
-					c1, c2 := net.Pipe()
-					p := &parkedConn{Conn: c1}
-					if !ps.add(p) {
-						c1.Close()
-						c2.Close()
-						return // closed: caller keeps ownership
-					}
-					added.Add(1)
-					// Simulate the park read completing (remove) or the
-					// connection dying while parked (closeAll already
-					// closed it) — both end with done.
-					ps.remove(p)
-					finished.Add(1)
-					ps.done()
-					c1.Close()
-					c2.Close()
+// TestParkShedRacesWakeAndShutdown drives Requeue, the global LIFO
+// shed, client wakes and Shutdown against each other — the exact
+// interleavings the admission path produces when descriptor pressure
+// sheds parked connections while their next request bytes are arriving.
+// Under -race this proves the event-loop locking; in any mode it proves
+// the contract: every client observes either its echo or a clean close
+// (never a hang), nothing stays parked after Shutdown, and Requeue
+// refuses afterwards.
+func TestParkShedRacesWakeAndShutdown(t *testing.T) {
+	const conns = 24
+	var srv *Server
+	s, err := New(Config{
+		Workers: 4,
+		Handler: func(conn net.Conn) {
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				conn.Close()
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+				return
+			}
+			if !srv.Requeue(conn) {
+				conn.Close()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = s
+	s.Start()
+
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			msg := []byte{'x'}
+			for {
+				if _, err := conn.Write(msg); err != nil {
+					return // shed or shutdown closed us: clean exit
 				}
-			}()
-		}
-		// Race closeAll into the middle of the adds.
-		ps.closeAll()
-		ps.wait()
-		if got, want := finished.Load(), added.Load(); got < want {
-			// wait returned while an accepted parker had not finished:
-			// the Shutdown ordering guarantee would be broken.
-			t.Fatalf("round %d: wait returned with %d of %d parks unfinished", round, want-got, want)
-		}
-		wg.Wait()
-		if ps.add(&parkedConn{}) {
-			t.Fatal("add succeeded after closeAll")
-		}
+				if _, err := io.ReadFull(conn, msg); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+
+	// Race the global LIFO shed against the wake traffic.
+	shedStop := make(chan struct{})
+	var sheds atomic.Int64
+	var shedWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		shedWG.Add(1)
+		go func() {
+			defer shedWG.Done()
+			for {
+				select {
+				case <-shedStop:
+					return
+				default:
+				}
+				if s.shedNewestParked() {
+					sheds.Add(1)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return s.Stats().Requeued >= conns },
+		"requeue traffic never started")
+	time.Sleep(50 * time.Millisecond)
+	close(shedStop)
+	shedWG.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with shed/wake races in flight: %v", err)
+	}
+	wg.Wait()
+
+	if sheds.Load() == 0 {
+		t.Error("the shedding goroutines never reclaimed a parked connection")
+	}
+	if got := s.Parked(); got != 0 {
+		t.Errorf("Parked() = %d after Shutdown, want 0", got)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if s.Requeue(c1) {
+		t.Error("Requeue accepted a connection after shutdown")
 	}
 }

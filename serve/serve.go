@@ -22,6 +22,14 @@
 // group, and requeued keep-alive connections returned via
 // Server.Requeue, land locally.
 //
+// Between requests a keep-alive connection parks on the event loop of
+// the worker owning its flow group (internal/evloop): one epoll
+// instance per worker owns readability for that worker's whole parked
+// population, so a million held-open sockets cost O(workers)
+// goroutines, not O(connections). Each loop also stamps a coarse
+// per-worker clock once per iteration, which the layers above use for
+// deadlines instead of calling time.Now per request.
+//
 // On other platforms, or when SO_REUSEPORT is unavailable, the server
 // falls back to a single shared listener; connections are still routed
 // through the same flow-group table, so locality and migration stats
@@ -40,6 +48,7 @@ import (
 
 	"affinityaccept/internal/admit"
 	"affinityaccept/internal/core"
+	"affinityaccept/internal/evloop"
 )
 
 // Handler serves one accepted connection. The handler owns the
@@ -210,8 +219,12 @@ type Server struct {
 	acceptWG sync.WaitGroup
 	workerWG sync.WaitGroup
 
-	workers  []workerState
-	parked   *parkSet      // keep-alive connections between requeue passes
+	workers []workerState
+	// loops are the per-worker park event loops: loops[i] owns
+	// readability (one epoll instance on Linux) for every keep-alive
+	// connection parked between requeue passes whose flow group worker
+	// i owns, plus worker i's coarse clock.
+	loops    []*evloop.Loop
 	requeued atomic.Uint64 // successful Requeue calls
 	rr       atomic.Uint64 // round-robin cursor for non-TCP remote addresses
 
@@ -255,7 +268,13 @@ func New(cfg Config) (*Server, error) {
 		wake:    make(chan struct{}, cfg.Workers),
 		drainCh: make(chan struct{}),
 		workers: make([]workerState, cfg.Workers),
-		parked:  newParkSet(),
+	}
+	s.loops = make([]*evloop.Loop, cfg.Workers)
+	for i := range s.loops {
+		s.loops[i] = evloop.New(evloop.Config{
+			Callbacks:     evloop.Callbacks{Ready: s.parkWake, Dead: s.parkDead},
+			ForcePortable: forcePortableParking,
+		})
 	}
 	if cfg.WorkerHandler != nil {
 		s.handler = cfg.WorkerHandler
@@ -329,16 +348,38 @@ func (s *Server) FlowGroups() int { return s.flow.Groups() }
 func (s *Server) OwnerOf(remotePort uint16) int { return s.flow.CoreForPort(remotePort) }
 
 // Parked reports how many requeued connections are currently waiting
-// for their next request byte. Long-lived-workload drivers use it to
-// confirm a held-open population really is parked (costing no worker)
-// rather than queued or in-flight.
-func (s *Server) Parked() int64 { return s.parked.parked.Load() }
+// for their next request bytes on the workers' event loops. Long-lived-
+// workload drivers use it to confirm a held-open population really is
+// parked (costing no goroutine and no worker) rather than queued or
+// in-flight.
+func (s *Server) Parked() int64 {
+	var n int64
+	for _, l := range s.loops {
+		n += int64(l.Len())
+	}
+	return n
+}
+
+// CoarseNow returns the given worker's coarse clock — wall time as of
+// that worker's last event-loop iteration, at most ~50ms stale.
+// Application layers arm per-request deadlines from it instead of
+// calling time.Now on every request (à la fasthttp's coarse time).
+// Out-of-range workers get the real clock.
+func (s *Server) CoarseNow(worker int) time.Time {
+	if worker < 0 || worker >= len(s.loops) {
+		return time.Now()
+	}
+	return s.loops[worker].Now()
+}
 
 // Start launches the acceptor, worker and migration goroutines. It
 // returns immediately; use Shutdown to stop.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
+	}
+	for _, l := range s.loops {
+		l.Start()
 	}
 	for i, l := range s.listeners {
 		s.acceptWG.Add(1)
@@ -510,6 +551,15 @@ func (s *Server) workerLoop(worker int) {
 			s.bal.ObserveIdle(worker, n)
 			idleMark = now
 		}
+		// Before sleeping, drain our own event loop's pending wakes
+		// inline: a zero-timeout epoll_wait never surrenders the P, so on
+		// a loaded machine (or GOMAXPROCS=1) a parked connection's next
+		// request is delivered by the worker itself instead of waiting
+		// for the loop goroutine to be scheduled out of its blocking
+		// wait. Delivery is idempotent, so racing the loop is safe.
+		if s.loops[worker].Poll() > 0 {
+			continue
+		}
 		if s.draining.Load() && s.bal.TotalLen() == 0 {
 			return
 		}
@@ -537,9 +587,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		for _, l := range s.listeners {
 			l.Close()
 		}
-		s.acceptWG.Wait()   // all accept-time pushes are done
-		s.parked.closeAll() // unpark: idle keep-alive conns read EOF and close
-		s.parked.wait()     // in-flight parks have pushed or closed
+		s.acceptWG.Wait() // all accept-time pushes are done
+		// Close the park loops: every idle keep-alive connection is
+		// closed (its ParkCloseNotifier fires), and any wake already in
+		// flight finishes its push before Close returns — so nothing is
+		// pushed onto a queue after the workers have drained and exited.
+		for _, l := range s.loops {
+			l.Close()
+		}
 		s.draining.Store(true)
 		close(s.drainCh)
 	})
@@ -586,7 +641,7 @@ func (s *Server) Stats() Stats {
 		ServedStolen: steals,
 		Dropped:      drops,
 		Requeued:     s.requeued.Load(),
-		Parked:       s.parked.parked.Load(),
+		Parked:       s.Parked(),
 		Migrations:   s.flow.Migrations(),
 		Workers:      make([]WorkerStats, s.cfg.Workers),
 
@@ -610,6 +665,7 @@ func (s *Server) Stats() Stats {
 			Busy:         s.bal.Busy(i),
 			GroupsOwned:  groups[i],
 			MigratedIn:   w.migratedIn.Load(),
+			Parked:       s.loops[i].Len(),
 		}
 		if s.cfg.WorkerPool != nil {
 			st.Workers[i].Pool = s.cfg.WorkerPool(i)

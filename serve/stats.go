@@ -31,6 +31,9 @@ type WorkerStats struct {
 	// §3.3.1 busy bit.
 	QueueDepth int
 	Busy       bool
+	// Parked is the instantaneous number of connections parked on this
+	// worker's event loop between requeue passes.
+	Parked int
 	// GroupsOwned is how many flow groups currently steer to this
 	// worker; MigratedIn counts groups it claimed via §3.3.2 migration.
 	GroupsOwned int
@@ -66,8 +69,9 @@ type Stats struct {
 	Migrations uint64
 	// Parked is the instantaneous number of connections waiting between
 	// requeue passes — the held-open population of a long-lived
-	// workload. Each costs one blocked parker goroutine and no worker
-	// capacity.
+	// workload. Parked connections live on the per-worker event loops
+	// (one epoll registration each on Linux), costing no goroutine and
+	// no worker capacity.
 	Parked int64
 	// Pool aggregates the per-worker object-pool counters (zero unless
 	// Config.WorkerPool is set).
@@ -146,13 +150,24 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "upstream: %d checkouts, %.1f%% reused from the worker-local pool (%d dials, %d drops)\n",
 			s.Upstream.Gets(), s.Upstream.ReusePct(), s.Upstream.Misses, s.Upstream.Drops)
 	}
-	fmt.Fprintf(&b, "%-7s %9s %9s %9s %7s %7s %7s %8s %5s",
-		"worker", "accepted", "local", "stolen", "active", "qdepth", "groups", "migr-in", "busy")
+	// Header and rows share one format: identical column widths, every
+	// gauge column wide enough for production-scale counters (11 digits
+	// of accepts, 8-digit parked populations), so the table cannot
+	// drift however wide the numbers get. TestStatsStringGolden pins
+	// the alignment.
+	const (
+		statsHeaderFmt = "%-6s %11s %11s %11s %7s %7s %8s %7s %8s %5s"
+		statsRowFmt    = "%-6d %11d %11d %11d %7d %7d %8d %7d %8d %5s"
+		poolHeaderFmt  = " %10s %7s"
+		poolRowFmt     = " %10d %7.1f"
+	)
+	fmt.Fprintf(&b, statsHeaderFmt,
+		"worker", "accepted", "local", "stolen", "active", "qdepth", "parked", "groups", "migr-in", "busy")
 	if pools {
-		fmt.Fprintf(&b, " %9s %7s", "pool-get", "reuse%")
+		fmt.Fprintf(&b, poolHeaderFmt, "pool-get", "reuse%")
 	}
 	if upstream {
-		fmt.Fprintf(&b, " %9s %7s", "up-get", "up-re%")
+		fmt.Fprintf(&b, poolHeaderFmt, "up-get", "up-re%")
 	}
 	b.WriteByte('\n')
 	for _, w := range s.Workers {
@@ -160,14 +175,14 @@ func (s Stats) String() string {
 		if w.Busy {
 			busy = "*"
 		}
-		fmt.Fprintf(&b, "%-7d %9d %9d %9d %7d %7d %7d %8d %5s",
+		fmt.Fprintf(&b, statsRowFmt,
 			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth,
-			w.GroupsOwned, w.MigratedIn, busy)
+			w.Parked, w.GroupsOwned, w.MigratedIn, busy)
 		if pools {
-			fmt.Fprintf(&b, " %9d %7.1f", w.Pool.Gets(), w.Pool.ReusePct())
+			fmt.Fprintf(&b, poolRowFmt, w.Pool.Gets(), w.Pool.ReusePct())
 		}
 		if upstream {
-			fmt.Fprintf(&b, " %9d %7.1f", w.Upstream.Gets(), w.Upstream.ReusePct())
+			fmt.Fprintf(&b, poolRowFmt, w.Upstream.Gets(), w.Upstream.ReusePct())
 		}
 		b.WriteByte('\n')
 	}

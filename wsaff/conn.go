@@ -18,10 +18,11 @@ import (
 type Conn struct {
 	ws *WS
 	// tc is the stable transport handle writes go through; rc is the
-	// current pass's read view (which replays the park wake-up byte and
-	// post-upgrade residual input). rc strictly supersedes tc for
+	// current pass's read view (which replays parked input and
+	// post-upgrade residual bytes). rc strictly supersedes tc for
 	// closing once set: after the first park it is the serve layer's
-	// park wrapper, whose Close also retires the parker goroutine.
+	// park wrapper, whose Close also detaches the connection's
+	// event-loop park state.
 	tc     net.Conn
 	rc     net.Conn
 	remote net.Addr
@@ -164,8 +165,8 @@ func (c *Conn) sendClose(code uint16, reason string) {
 }
 
 // finish tears the connection down exactly once: unregisters it from
-// its shard, closes the transport (which retires the parker goroutine
-// if one exists) and delivers OnClose. closeTransport is false only on
+// its shard, closes the transport (detaching any event-loop park state
+// with it) and delivers OnClose. closeTransport is false only on
 // the pass path, where the caller still owns rc and closes it itself.
 func (c *Conn) finish(code uint16, closeTransport bool) {
 	c.finOnce.Do(func() {
@@ -193,7 +194,8 @@ func (c *Conn) finish(code uint16, closeTransport bool) {
 }
 
 // closeConn closes the newest transport handle: the park wrapper once
-// one exists (its Close also retires the parker), else the raw conn.
+// one exists (its Close also detaches the event-loop park state), else
+// the raw conn.
 func (c *Conn) closeConn() {
 	c.writeMu.Lock()
 	nc := c.rc
@@ -257,13 +259,28 @@ func (c *Conn) flushMidPass() error {
 }
 
 // parkDeadline arms the park read deadline implementing IdleTimeout;
-// a zero deadline (IdleTimeout disabled) clears it.
-func (c *Conn) parkDeadline() {
+// a zero deadline (IdleTimeout disabled) clears it. The deadline is
+// recorded down the wrapper chain (serve.ParkDeadliner), so the owning
+// worker's event-loop sweep reaps a dead peer without a goroutine
+// waiting on it. nc is the pass's read view, which carries the worker's
+// coarse clock once the connection has parked before.
+func (c *Conn) parkDeadline(nc net.Conn) {
 	var dl time.Time
 	if t := c.ws.cfg.IdleTimeout; t > 0 {
-		dl = time.Now().Add(t)
+		dl = coarseNow(nc).Add(t)
 	}
 	c.tc.SetReadDeadline(dl)
+}
+
+// coarseNow returns the owning worker's coarse clock when the pass
+// connection can supply one (the serve layer's park wrapper — every
+// pass after the first park), else the real clock. It keeps time.Now
+// off the per-frame path.
+func coarseNow(nc net.Conn) time.Time {
+	if cn, ok := nc.(interface{ CoarseNow() time.Time }); ok {
+		return cn.CoarseNow()
+	}
+	return time.Now()
 }
 
 // pass serves one takeover pass: read frames until the inbound stream
@@ -297,7 +314,7 @@ func (ws *WS) pass(worker int, c *Conn, nc net.Conn) (park bool) {
 	w := &ws.workers[worker]
 	w.acquire(ws.cfg.ReadBufferSize)
 	c.beginPass(nc, w)
-	c.lastActive.Store(time.Now().UnixNano())
+	c.lastActive.Store(coarseNow(nc).UnixNano())
 
 	if first && ws.cfg.OnOpen != nil {
 		ws.cfg.OnOpen(c)
@@ -317,7 +334,7 @@ func (ws *WS) pass(worker int, c *Conn, nc net.Conn) (park bool) {
 		nc.Close()
 		return false
 	}
-	c.parkDeadline()
+	c.parkDeadline(nc)
 	return true
 }
 
@@ -378,7 +395,7 @@ func (ws *WS) readFrames(c *Conn, nc net.Conn, w *wsWorker) (park bool, code uin
 			unmask(h.key, 0, payload)
 			pos = total
 			ws.framesIn.Add(1)
-			c.lastActive.Store(time.Now().UnixNano())
+			c.lastActive.Store(coarseNow(nc).UnixNano())
 
 			switch {
 			case h.op == OpPing:
@@ -438,7 +455,7 @@ func (ws *WS) readFrames(c *Conn, nc net.Conn, w *wsWorker) (park bool, code uin
 			armed = true
 			var dl time.Time
 			if t := ws.cfg.IdleTimeout; t > 0 {
-				dl = time.Now().Add(t)
+				dl = coarseNow(nc).Add(t)
 			}
 			nc.SetReadDeadline(dl)
 		}

@@ -16,11 +16,13 @@
 //     arena discipline as httpaff's request contexts, so frame memory
 //     is touched only by the worker serving the pass.
 //   - Between messages the socket parks through serve.Requeue: it holds
-//     no worker, no buffer and no timer, just one blocked parker
-//     goroutine. The next inbound byte routes it through the flow table
-//     again, so when §3.3.2 migration re-points its group the socket
-//     follows — pings and pongs ride the same path, which keeps even a
-//     silent socket's keep-alive traffic core-local.
+//     no worker, no buffer, no timer and no goroutine — just one epoll
+//     registration on its owning worker's event loop, which is how a
+//     million held-open sockets stay O(workers) goroutines. The next
+//     inbound bytes route it through the flow table again, so when
+//     §3.3.2 migration re-points its group the socket follows — pings
+//     and pongs ride the same path, which keeps even a silent socket's
+//     keep-alive traffic core-local.
 //   - Fan-out is sharded per worker: a broadcast delivers through each
 //     worker's local subscriber set under that shard's own lock, never
 //     a process-wide one, and a connection's registration moves shards
@@ -79,8 +81,8 @@ type Config struct {
 	PingInterval time.Duration
 	// IdleTimeout closes a connection with no inbound traffic — data,
 	// pong, anything — for this long (default 2×PingInterval; negative
-	// disables). It is armed as the park read deadline, so a dead peer
-	// is reaped by its own parker goroutine.
+	// disables). It is armed as the park deadline, so a dead peer is
+	// reaped by its worker's event-loop sweep without waking anything.
 	IdleTimeout time.Duration
 
 	// BroadcastBuffer bounds each shard's queue of pending broadcasts
