@@ -5,6 +5,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"net"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,13 +35,22 @@ type httpOpts struct {
 	migrateEvery time.Duration
 	groups       int
 	jsonPath     string
+
+	// scrapeEvery > 0 runs a concurrent scraper that fetches /metrics
+	// and /debug/events at this period for the whole window — the CI
+	// gate that observability reads don't tax the serving path.
+	scrapeEvery time.Duration
 }
 
 func (o httpOpts) scenario() string {
-	if o.migrate {
+	switch {
+	case o.scrapeEvery > 0:
+		return "http-keepalive-scraped"
+	case o.migrate:
 		return "http-keepalive"
+	default:
+		return "http-keepalive-nomigrate"
 	}
-	return "http-keepalive-nomigrate"
 }
 
 // runHTTPBench starts an httpaff server, drives it with pipelined
@@ -55,6 +66,20 @@ func runHTTPBench(o httpOpts) error {
 		o.pipeline = 16
 	}
 	body := bytes.Repeat([]byte("x"), o.payload)
+	// The bench handler is mounted on a router alongside the unified
+	// metrics and event endpoints, so a scraper can hit the same server
+	// the load runs against — the production shape, not a side server.
+	var srv *httpaff.Server
+	r := httpaff.NewRouter()
+	r.Handle("/bench", func(ctx *httpaff.RequestCtx) {
+		ctx.Write(body)
+	})
+	r.Handle("/metrics", func(ctx *httpaff.RequestCtx) {
+		httpaff.MetricsHandler(srv)(ctx)
+	})
+	r.Handle("/debug/events", func(ctx *httpaff.RequestCtx) {
+		httpaff.EventsHandler(srv)(ctx)
+	})
 	srv, err := httpaff.New(httpaff.Config{
 		Addr:             o.addr,
 		Workers:          o.workers,
@@ -62,9 +87,7 @@ func runHTTPBench(o httpOpts) error {
 		FlowGroups:       o.groups,
 		MigrateInterval:  o.migrateEvery,
 		DisableMigration: !o.migrate,
-		Handler: func(ctx *httpaff.RequestCtx) {
-			ctx.Write(body)
-		},
+		Handler:          r.Serve,
 	})
 	if err != nil {
 		return err
@@ -82,7 +105,18 @@ func runHTTPBench(o httpOpts) error {
 	fmt.Printf("httpaff on %s: %d workers, %s, %d flow groups, migration %s\n",
 		target, o.workers, mode, srv.FlowGroups(), migr)
 
+	var scrapes uint64
+	scrapeDone := make(chan struct{})
+	if o.scrapeEvery > 0 {
+		go func() {
+			defer close(scrapeDone)
+			scrapes = scrapeLoop(target, o.scrapeEvery, time.Now().Add(o.duration))
+		}()
+	} else {
+		close(scrapeDone)
+	}
 	lat, requests, failed := driveHTTP(target, o)
+	<-scrapeDone
 	secs := o.duration.Seconds()
 
 	fmt.Println()
@@ -108,10 +142,17 @@ func runHTTPBench(o httpOpts) error {
 		fmt.Println("shutdown:", err)
 	}
 	st := srv.Stats()
+	// Server-side service latency, from the workers' own histograms:
+	// head-read start to response flush, no client or loopback time.
+	srvQ := srv.ServiceLatencyQuantiles(0.5, 0.99, 0.999)
 	fmt.Println()
 	fmt.Printf("locality: %.1f%% of %d handler passes on the owning worker; pool reuse: %.1f%% of %d gets worker-local (%d misses)\n",
 		st.LocalityPct(), st.Served, st.Pool.ReusePct(), st.Pool.Gets(), st.Pool.Misses)
 	fmt.Printf("keep-alive: %d requeues, %d flow-group migrations\n", st.Requeued, st.Migrations)
+	fmt.Printf("server-side service latency: p50 %v  p99 %v  p999 %v\n", srvQ[0], srvQ[1], srvQ[2])
+	if o.scrapeEvery > 0 {
+		fmt.Printf("scraper: %d /metrics + /debug/events fetches at %v period during the run\n", scrapes, o.scrapeEvery)
+	}
 	fmt.Print(st)
 
 	rep := benchReport{
@@ -135,6 +176,10 @@ func runHTTPBench(o httpOpts) error {
 		PoolGets:     st.Pool.Gets(),
 		PoolMisses:   st.Pool.Misses,
 		PoolReusePct: st.Pool.ReusePct(),
+		SrvP50us:     float64(srvQ[0].Nanoseconds()) / 1e3,
+		SrvP99us:     float64(srvQ[1].Nanoseconds()) / 1e3,
+		SrvP999us:    float64(srvQ[2].Nanoseconds()) / 1e3,
+		Scrapes:      scrapes,
 	}
 	rep.fillEnv()
 	if o.jsonPath != "" {
@@ -147,6 +192,56 @@ func runHTTPBench(o httpOpts) error {
 }
 
 var httpBenchRequest = []byte("GET /bench HTTP/1.1\r\nHost: bench\r\nUser-Agent: affinity-bench\r\n\r\n")
+
+// scrapeLoop fetches /metrics and /debug/events on one keep-alive
+// connection at the given period until the deadline, mimicking a
+// Prometheus scraper running against a loaded server. Returns the
+// number of completed scrape rounds (both endpoints fetched).
+func scrapeLoop(target string, every time.Duration, stop time.Time) uint64 {
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return 0
+	}
+	defer conn.Close()
+	conn.SetDeadline(stop.Add(30 * time.Second))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var rounds uint64
+	for time.Now().Before(stop) {
+		for _, path := range []string{"/metrics", "/debug/events"} {
+			if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: bench\r\nUser-Agent: affinity-scrape\r\n\r\n", path); err != nil {
+				return rounds
+			}
+			if err := discardResponse(br); err != nil {
+				return rounds
+			}
+		}
+		rounds++
+		time.Sleep(every)
+	}
+	return rounds
+}
+
+// discardResponse reads one Content-Length-framed response off br.
+func discardResponse(br *bufio.Reader) error {
+	var length int
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			if length, err = strconv.Atoi(v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.CopyN(io.Discard, br, int64(length))
+	return err
+}
 
 // learnResponseLen performs one exchange and returns the (fixed)
 // response length, so the batch loop can read with exact ReadFulls

@@ -42,6 +42,21 @@ type benchReport struct {
 	PoolMisses   uint64  `json:"poolMisses,omitempty"`
 	PoolReusePct float64 `json:"poolReusePct,omitempty"`
 
+	// Server-side service-latency quantiles (http scenarios only), from
+	// the workers' own head-read→flush histograms. Their gap to the
+	// client-observed p50us/p99us above is queueing plus the loopback
+	// hop — the split client-only measurement cannot give.
+	SrvP50us  float64 `json:"srvP50us,omitempty"`
+	SrvP99us  float64 `json:"srvP99us,omitempty"`
+	SrvP999us float64 `json:"srvP999us,omitempty"`
+	// Scrapes counts mid-run /metrics + /debug/events fetches when
+	// -scrape-every is set (the scraped scenario's proof of load).
+	Scrapes uint64 `json:"scrapes,omitempty"`
+	// MigrateEvents is the KindMigrate count on the control ring at
+	// window end (-longlived scenarios); the acceptance property is
+	// MigrateEvents == Migrations.
+	MigrateEvents uint64 `json:"migrateEvents,omitempty"`
+
 	// proxyaff upstream connection-pool counters (proxy scenarios only).
 	Backends         int     `json:"backends,omitempty"`
 	UpstreamGets     uint64  `json:"upstreamGets,omitempty"`

@@ -86,6 +86,7 @@ func main() {
 		migrate      = flag.Bool("migrate", true, "enable the flow-group migration loop")
 		migrateEvery = flag.Duration("migrate-interval", 0, "migration tick (0 = the paper's 100ms)")
 		groups       = flag.Int("groups", 0, "flow-group count (0 = the paper's 4096; -longlived defaults to 16)")
+		scrapeEvery  = flag.Duration("scrape-every", 0, "in -http mode, fetch /metrics and /debug/events at this period during the run (0 = no scraper)")
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -199,6 +200,7 @@ func main() {
 			migrateEvery: *migrateEvery,
 			groups:       *groups,
 			jsonPath:     *jsonPath,
+			scrapeEvery:  *scrapeEvery,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

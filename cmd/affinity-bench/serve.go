@@ -16,6 +16,7 @@ import (
 
 	"affinityaccept"
 	"affinityaccept/internal/loadgen"
+	"affinityaccept/internal/obs"
 )
 
 // serveOpts carries the -serve/-client flag values.
@@ -191,6 +192,23 @@ func runServeBench(o serveOpts) error {
 		if o.longlived > 0 {
 			fmt.Printf("migration report: %d flow-group migrations, %d keep-alive requeues\n",
 				st.Migrations, st.Requeued)
+			// Cross-check the stats counter against the control-plane
+			// event ring: every migration the balancer applied must have
+			// left a KindMigrate event (the rare-event ring never evicts
+			// them for park/wake churn), so a mismatch means the trace
+			// plane lost control-plane history.
+			var migrateEvents uint64
+			for _, ev := range srv.Events() {
+				if ev.Kind == obs.KindMigrate {
+					migrateEvents++
+				}
+			}
+			rep.MigrateEvents = migrateEvents
+			if migrateEvents == st.Migrations {
+				fmt.Printf("event trace: %d migrate events on the control ring — matches the stats counter\n", migrateEvents)
+			} else {
+				fmt.Printf("event trace: WARNING %d migrate events for %d stats migrations\n", migrateEvents, st.Migrations)
+			}
 		}
 		fmt.Print(st)
 		if o.stallMS > 0 {

@@ -104,12 +104,20 @@ func main() {
 		fmt.Println("cannot listen (sandboxed environment?):", err)
 		return
 	}
-	// Setup-time registration: nothing has connected yet.
+	// Setup-time registration: nothing has connected yet. The unified
+	// metrics endpoint composes the proxy's series (upstream exchange
+	// histogram, backend health) into the edge server's scrape via the
+	// extras hook; /debug/events serves the control-plane timeline.
 	router.Handle("/_stats", httpaff.StatsHandler(edge.Transport()))
+	router.Handle("/metrics", httpaff.MetricsHandler(edge, proxy.WriteObsMetrics))
+	router.Handle("/debug/events", httpaff.EventsHandler(edge))
+	pprofAddr := startPprof()
 	edge.Start()
 	addr := edge.Addr().String()
-	fmt.Printf("edge: %d workers on %s (sharded=%v) fronting %s and %s, worker-pinned upstream pools\n\n",
+	fmt.Printf("edge: %d workers on %s (sharded=%v) fronting %s and %s, worker-pinned upstream pools\n",
 		workers, addr, edge.Sharded(), originA.Addr(), originB.Addr())
+	fmt.Printf("observability: http://%s/metrics (edge + proxy series), /debug/events; pprof on http://%s/debug/pprof/\n\n",
+		addr, pprofAddr)
 
 	var requests, failures atomic.Int64
 	start := time.Now()

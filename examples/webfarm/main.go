@@ -40,6 +40,7 @@ func main() {
 	}
 	payload := strings.Repeat("x", fileBytes)
 
+	var srv *httpaff.Server
 	router := httpaff.NewRouter()
 	router.Handle("/", func(ctx *httpaff.RequestCtx) {
 		ctx.SetContentType("text/html; charset=utf-8")
@@ -50,6 +51,18 @@ func main() {
 			ctx.WriteString(payload)
 		})
 	}
+	// The observability plane: one Prometheus endpoint covering the
+	// request histograms and the transport's control-plane series, plus
+	// the event timeline for debugging migration behavior.
+	router.Handle("/metrics", func(ctx *httpaff.RequestCtx) {
+		httpaff.MetricsHandler(srv)(ctx)
+	})
+	router.Handle("/debug/events", func(ctx *httpaff.RequestCtx) {
+		httpaff.EventsHandler(srv)(ctx)
+	})
+	// Go's profiler serves over net/http; a sidecar listener keeps the
+	// hot httpaff path out of the stock mux's allocation profile.
+	pprofAddr := startPprof()
 
 	srv, err := httpaff.New(httpaff.Config{
 		Addr:    "127.0.0.1:0",
@@ -62,8 +75,10 @@ func main() {
 	}
 	srv.Start()
 	addr := srv.Addr().String()
-	fmt.Printf("web farm: %d workers on %s (sharded=%v), %d net/http clients, %d reqs/conn\n\n",
+	fmt.Printf("web farm: %d workers on %s (sharded=%v), %d net/http clients, %d reqs/conn\n",
 		workers, addr, srv.Sharded(), clients, reqsPerConn)
+	fmt.Printf("observability: http://%s/metrics and /debug/events; pprof on http://%s/debug/pprof/\n\n",
+		addr, pprofAddr)
 
 	var requests, failures atomic.Int64
 	start := time.Now()

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// startPprof serves Go's profiler on a loopback sidecar listener —
+// net/http/pprof wants a net/http mux, and a separate listener keeps
+// profiling traffic (and the stock mux's allocations) off the httpaff
+// serving path. Returns the listen address, or a note when the sandbox
+// refuses a second listener.
+func startPprof() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "(unavailable: " + err.Error() + ")"
+	}
+	go http.Serve(ln, nil)
+	return ln.Addr().String()
+}

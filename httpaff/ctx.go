@@ -69,7 +69,8 @@ type RequestCtx struct {
 	rlen int    // valid bytes in rbuf
 	rpos int    // consumed bytes (start of the next pipelined request)
 
-	wbuf []byte // serialized responses awaiting one flush
+	wbuf    []byte // serialized responses awaiting one flush
+	flushed int    // response bytes already written this pass
 
 	req  request
 	resp response
@@ -92,6 +93,7 @@ func (ctx *RequestCtx) end() {
 	ctx.conn, ctx.state = nil, nil
 	ctx.rlen, ctx.rpos = 0, 0
 	ctx.wbuf = ctx.wbuf[:0]
+	ctx.flushed = 0
 	ctx.req.reset()
 	ctx.resp.reset()
 	ctx.hijack = nil
@@ -107,10 +109,16 @@ func (ctx *RequestCtx) flush() error {
 	if len(ctx.wbuf) == 0 {
 		return nil
 	}
+	ctx.flushed += len(ctx.wbuf)
 	_, err := ctx.conn.Write(ctx.wbuf)
 	ctx.wbuf = ctx.wbuf[:0]
 	return err
 }
+
+// written reports the response bytes produced so far this pass — flushed
+// plus still-buffered — so a delta across one request isolates that
+// request's response size even under pipelining.
+func (ctx *RequestCtx) written() int { return ctx.flushed + len(ctx.wbuf) }
 
 // ---- request accessors (zero-copy; valid during the handler call) ----
 

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"affinityaccept/internal/obs"
 	"affinityaccept/serve"
 )
 
@@ -132,6 +133,21 @@ type Config struct {
 	// layer wires its per-worker backend pools here.
 	WorkerUpstream func(worker int) serve.PoolStats
 
+	// ObsSampleShift subsamples the request-path histograms: 1 in
+	// 2^ObsSampleShift handler passes is timed and sized (0 = every
+	// pass). The per-pass cost of a sampled pass is two clock reads and
+	// six atomic adds — cheap enough to keep at 0 in most deployments;
+	// the knob exists for request rates where even that shows.
+	ObsSampleShift uint
+	// EventRingSize and HistSubBits pass through to the transport's
+	// observability plane (serve.Config); HistSubBits also sets the
+	// resolution of the HTTP layer's latency/size histograms.
+	EventRingSize int
+	HistSubBits   int
+	// DisableObs turns off event tracing and histograms in both this
+	// layer and the transport.
+	DisableObs bool
+
 	// The remaining fields pass straight through to serve.Config:
 	// queueing, stealing, migration and transport-level admission
 	// (per-IP accept rate limiting, the connection budget with LIFO
@@ -177,6 +193,9 @@ func (c *Config) fill() error {
 		c.HeaderTimeout < 0 || c.MaxInflightHeaders < 0 || c.RetryAfter < 0 {
 		return errors.New("httpaff: limits must be non-negative")
 	}
+	if c.EventRingSize < 0 || c.HistSubBits < 0 || c.ObsSampleShift > 62 {
+		return errors.New("httpaff: EventRingSize and HistSubBits must be non-negative, ObsSampleShift at most 62")
+	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
@@ -214,6 +233,14 @@ type Server struct {
 	// admitw holds the per-worker admission counters.
 	inflightHeaders atomic.Int64
 	admitw          []admitCounters
+
+	// obsw holds each worker's request-path histograms (service
+	// latency, request/response sizes); obsMask is the sampling mask
+	// derived from ObsSampleShift (0 = record every pass). obsOn gates
+	// the whole plane so DisableObs removes even the clock reads.
+	obsw    []workerObs
+	obsMask uint64
+	obsOn   bool
 }
 
 // admitCounters is one worker's admission-policy counters, updated only
@@ -246,6 +273,16 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.arenas {
 		s.arenas[i] = &arena{s: s}
 	}
+	if !cfg.DisableObs {
+		s.obsOn = true
+		s.obsMask = uint64(1)<<cfg.ObsSampleShift - 1
+		s.obsw = make([]workerObs, cfg.Workers)
+		for i := range s.obsw {
+			s.obsw[i].svc = obs.NewHist(cfg.HistSubBits)
+			s.obsw[i].reqBytes = obs.NewHist(cfg.HistSubBits)
+			s.obsw[i].respBytes = obs.NewHist(cfg.HistSubBits)
+		}
+	}
 	s.refreshDate()
 	srv, err := serve.New(serve.Config{
 		Network:          cfg.Network,
@@ -263,6 +300,9 @@ func New(cfg Config) (*Server, error) {
 		MaxConns:         cfg.MaxConns,
 		PerIPAcceptRate:  cfg.PerIPAcceptRate,
 		PerIPAcceptBurst: cfg.PerIPAcceptBurst,
+		EventRingSize:    cfg.EventRingSize,
+		HistSubBits:      cfg.HistSubBits,
+		DisableObs:       cfg.DisableObs,
 		WorkerPool: func(worker int) serve.PoolStats {
 			return s.arenas[worker].counters.Snapshot()
 		},
@@ -463,6 +503,7 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		// flows the server has been curating keep their workers.
 		if s.cfg.ShedOnOverload && s.srv.Overloaded() {
 			s.admitw[worker].overloadSheds.Add(1)
+			s.srv.RecordEvent(worker, obs.KindShed, 0, 0, 0)
 			nc.Write(s.shed503)
 			nc.Close()
 			return
@@ -470,6 +511,7 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		if s.cfg.MaxInflightHeaders > 0 {
 			if !s.takeHeaderSlot() {
 				s.admitw[worker].headerSheds.Add(1)
+				s.srv.RecordEvent(worker, obs.KindShed, 1, 0, 0)
 				nc.Write(s.shed503)
 				nc.Close()
 				return
@@ -556,7 +598,25 @@ const flushEvery = 32 << 10
 // and flush in one write.
 func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 	c := ctx.state
+	var ow *workerObs
+	if s.obsOn {
+		ow = &s.obsw[ctx.worker]
+	}
 	for {
+		// Sampled passes time head-read start -> response flush (or, for
+		// a mid-pipeline request, response serialization) and size the
+		// request/response; the cost is two clock reads and six atomic
+		// adds, all worker-local.
+		var t0, outBefore int64
+		sampled := false
+		if ow != nil {
+			ow.n++
+			if ow.n&s.obsMask == 0 {
+				sampled = true
+				t0 = obs.Nanos()
+				outBefore = int64(ctx.written())
+			}
+		}
 		err := ctx.readRequest()
 		if ctx.headerSlot {
 			// The fresh connection's first head read is over (parsed or
@@ -598,6 +658,9 @@ func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 		ctx.appendResponse(closing)
 		if closing {
 			ctx.flush()
+			if sampled {
+				ow.record(obs.Nanos()-t0, int64(ctx.rpos), int64(ctx.written())-outBefore)
+			}
 			ctx.conn.Close()
 			return false
 		}
@@ -606,7 +669,16 @@ func (s *Server) servePass(ctx *RequestCtx) (park bool) {
 				ctx.conn.Close()
 				return false
 			}
+			if sampled {
+				ow.record(obs.Nanos()-t0, int64(ctx.rpos), int64(ctx.written())-outBefore)
+			}
 			return true
+		}
+		if sampled {
+			// Mid-pipeline: the response is serialized but rides a later
+			// flush; bill through serialization rather than hold the
+			// sample hostage to unrelated pipelined requests.
+			ow.record(obs.Nanos()-t0, int64(ctx.rpos), int64(ctx.written())-outBefore)
 		}
 		// More pipelined input is already buffered: keep serving on
 		// this worker, flushing periodically.

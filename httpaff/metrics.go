@@ -2,6 +2,7 @@ package httpaff
 
 import (
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -55,11 +56,17 @@ func (s *Server) Admission() AdmissionStats {
 // StatsHandler's JSON. It takes the httpaff Server (not just the
 // transport) because the shed/ratelimit/deadline story spans both
 // layers: the transport contributes accept-time admission (per-IP rate
-// limiting, the connection budget, fd-pressure shedding) and the HTTP
-// layer contributes header-deadline and 503-backpressure counters, per
-// worker. Mount it on a Router path (conventionally "/metrics"); like
-// StatsHandler it is diagnostic, not hot-path, and allocates.
-func MetricsHandler(srv *Server) HandlerFunc {
+// limiting, the connection budget, fd-pressure shedding), event-plane
+// counters, evloop and clock-lag gauges, and the park/steal/migrate
+// histograms; the HTTP layer contributes header-deadline and
+// 503-backpressure counters plus the request latency/size histograms.
+// Layers stacked above (proxyaff's upstream exchange histograms, wsaff's
+// frame counters) compose in through extras — each is invoked in order
+// and appends its own series, so one scrape endpoint covers the whole
+// stack without a registry. Mount it on a Router path (conventionally
+// "/metrics"); like StatsHandler it is diagnostic, not hot-path, and
+// allocates.
+func MetricsHandler(srv *Server, extras ...func(io.Writer)) HandlerFunc {
 	return func(ctx *RequestCtx) {
 		var b strings.Builder
 		st := srv.Stats()
@@ -115,6 +122,14 @@ func MetricsHandler(srv *Server) HandlerFunc {
 		fmt.Fprintf(&b, "# HELP affinity_pool_reuses_total Worker-arena request contexts served from the local free list.\n# TYPE affinity_pool_reuses_total counter\n")
 		for _, w := range st.Workers {
 			fmt.Fprintf(&b, "affinity_pool_reuses_total{worker=\"%d\"} %d\n", w.Worker, w.Pool.Reuses)
+		}
+
+		// Observability plane: request histograms (this layer), then the
+		// transport's event/evloop/latency series, then stacked layers.
+		srv.WriteObsMetrics(&b)
+		srv.srv.WriteObsMetrics(&b)
+		for _, extra := range extras {
+			extra(&b)
 		}
 
 		ctx.SetContentType("text/plain; version=0.0.4; charset=utf-8")

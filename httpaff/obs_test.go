@@ -1,0 +1,186 @@
+package httpaff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"affinityaccept/internal/obs"
+)
+
+// TestServiceLatencyHistogram drives real requests through the server
+// and checks the request-path histograms observed them: nonzero count,
+// plausible latencies, request/response sizes that bracket the actual
+// wire traffic.
+func TestServiceLatencyHistogram(t *testing.T) {
+	s := start(t, Config{Workers: 2})
+	conn, br := dial(t, s)
+
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		fmt.Fprintf(conn, "GET /obs HTTP/1.1\r\nHost: x\r\n\r\n")
+		code, _, body := readResponse(t, br)
+		if code != 200 || string(body) != "/obs" {
+			t.Fatalf("round %d: got %d %q", i, code, body)
+		}
+	}
+
+	m := s.mergedSvc()
+	if m.Count != rounds {
+		t.Fatalf("service histogram count %d, want %d", m.Count, rounds)
+	}
+	qs := s.ServiceLatencyQuantiles(0.5, 0.99, 0.999)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	for i, q := range qs {
+		if q <= 0 || q > 5*time.Second {
+			t.Errorf("quantile %d = %v, not plausible for a loopback echo", i, q)
+		}
+	}
+	if qs[0] > qs[2] {
+		t.Errorf("p50 %v > p999 %v", qs[0], qs[2])
+	}
+
+	// The request was 28 bytes on the wire; the log-bucketed histogram
+	// may round up by its relative error but never below the true size.
+	req := s.obsw[0].reqBytes.Snapshot()
+	for i := 1; i < len(s.obsw); i++ {
+		req.Merge(s.obsw[i].reqBytes.Snapshot())
+	}
+	if req.Count != rounds {
+		t.Fatalf("request-size count %d, want %d", req.Count, rounds)
+	}
+	if lo, hi := req.Quantile(0), req.Quantile(1); lo < 28 || hi > 64 {
+		t.Errorf("request sizes [%d, %d], want around the 28-byte request", lo, hi)
+	}
+}
+
+// TestObsSampling pins the ObsSampleShift contract: with shift n only
+// one pass in 2^n lands in the histograms.
+func TestObsSampling(t *testing.T) {
+	s := start(t, Config{Workers: 1, ObsSampleShift: 2})
+	conn, br := dial(t, s)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+		readResponse(t, br)
+	}
+	if got := s.mergedSvc().Count; got != 2 {
+		t.Fatalf("shift 2 recorded %d of 8 passes, want 2", got)
+	}
+}
+
+// TestObsDisabledHTTP: DisableObs zeroes the whole plane end to end —
+// no histograms, no quantiles, no metrics series, no events.
+func TestObsDisabledHTTP(t *testing.T) {
+	s := start(t, Config{Workers: 1, DisableObs: true})
+	conn, br := dial(t, s)
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	readResponse(t, br)
+
+	if s.obsOn || s.obsw != nil {
+		t.Fatal("DisableObs left the HTTP histograms live")
+	}
+	for _, q := range s.ServiceLatencyQuantiles(0.5, 0.99) {
+		if q != 0 {
+			t.Errorf("disabled server reports quantile %v", q)
+		}
+	}
+	var b strings.Builder
+	s.WriteObsMetrics(&b)
+	if b.Len() != 0 {
+		t.Errorf("disabled server wrote obs metrics:\n%s", b.String())
+	}
+	if evs := s.Events(); len(evs) != 0 {
+		t.Errorf("disabled server produced %d events", len(evs))
+	}
+}
+
+// TestMetricsHandlerComposes scrapes the unified /metrics endpoint over
+// the wire and checks it carries all three planes — the classic
+// counters, the HTTP layer's histograms, the transport's event/evloop
+// series — plus an extra writer stacked in the way proxyaff and wsaff
+// compose theirs.
+func TestMetricsHandlerComposes(t *testing.T) {
+	var s *Server
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	r.Handle("/metrics", func(ctx *RequestCtx) {
+		MetricsHandler(s, func(w io.Writer) {
+			fmt.Fprintf(w, "affinity_extra_series_total 7\n")
+		})(ctx)
+	})
+	s = start(t, Config{Workers: 1, Handler: r.Serve})
+	conn, br := dial(t, s)
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	readResponse(t, br)
+
+	fmt.Fprintf(conn, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+	code, headers, body := readResponse(t, br)
+	if code != 200 || !strings.HasPrefix(headers["content-type"], "text/plain") {
+		t.Fatalf("/metrics: %d %q", code, headers["content-type"])
+	}
+	out := string(body)
+	for _, series := range []string{
+		"affinity_served_total{worker=\"0\",queue=\"local\"}",
+		"# TYPE affinity_http_request_duration_seconds histogram",
+		"affinity_http_request_duration_seconds_bucket{le=\"+Inf\"}",
+		"affinity_http_request_size_bytes_sum",
+		"affinity_http_response_size_bytes_count",
+		"# TYPE affinity_park_duration_seconds histogram",
+		"affinity_events_recorded_total",
+		"affinity_clock_lag_seconds{worker=\"0\"}",
+		"affinity_extra_series_total 7",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("unified metrics missing %q", series)
+		}
+	}
+}
+
+// TestEventsHandlerJSON mounts the /debug/events endpoint and checks it
+// serves the transport's timeline: valid JSON, ordered sequence numbers,
+// and at least the accept event the warm-up request generated.
+func TestEventsHandlerJSON(t *testing.T) {
+	var s *Server
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	r.Handle("/debug/events", func(ctx *RequestCtx) { EventsHandler(s)(ctx) })
+	s = start(t, Config{Workers: 1, Handler: r.Serve})
+	conn, br := dial(t, s)
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	readResponse(t, br)
+
+	fmt.Fprintf(conn, "GET /debug/events HTTP/1.1\r\nHost: x\r\n\r\n")
+	code, headers, raw := readResponse(t, br)
+	if code != 200 || headers["content-type"] != "application/json" {
+		t.Fatalf("/debug/events: %d %q", code, headers["content-type"])
+	}
+	out := string(raw)
+	var body struct {
+		Recorded uint64      `json:"recorded"`
+		Dropped  uint64      `json:"dropped"`
+		Events   []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(out), &body); err != nil {
+		t.Fatalf("events endpoint served invalid JSON: %v\n%s", err, out)
+	}
+	if body.Recorded == 0 || len(body.Events) == 0 {
+		t.Fatalf("no events after a served request: recorded %d, drained %d", body.Recorded, len(body.Events))
+	}
+	var sawAccept bool
+	for i, ev := range body.Events {
+		if i > 0 && ev.Seq <= body.Events[i-1].Seq {
+			t.Errorf("timeline out of order at %d: seq %d after %d", i, ev.Seq, body.Events[i-1].Seq)
+		}
+		if ev.Kind == obs.KindAccept {
+			sawAccept = true
+		}
+	}
+	if !sawAccept {
+		t.Error("timeline has no accept event")
+	}
+}

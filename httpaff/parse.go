@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"affinityaccept/internal/http11"
+	"affinityaccept/internal/obs"
 )
 
 // protoError is a request-level protocol failure the server answers
@@ -147,6 +148,8 @@ func (ctx *RequestCtx) readRequest() error {
 				// A started-but-never-finished head is the slowloris
 				// signature; count it for the worker serving the pass.
 				ctx.srv.admitw[ctx.worker].headerTimeouts.Add(1)
+				ctx.srv.srv.RecordEvent(ctx.worker, obs.KindHeaderTimeout,
+					int64(ctx.rlen), 0, 0)
 			}
 			return err // mid-request EOF or timeout
 		}

@@ -105,6 +105,13 @@ type Loop struct {
 	clock      atomic.Int64 // coarse time, unix nanos
 	closedFlag atomic.Bool
 
+	// Lifetime delivery counters, exported by Counters for the metrics
+	// plane: ready wakes, dead deliveries (all causes), and the subset
+	// of deads caused by park-deadline expiry.
+	ready   atomic.Uint64
+	dead    atomic.Uint64
+	expired atomic.Uint64
+
 	p    *poller       // nil: portable mode
 	done chan struct{} // closed when the loop goroutine exits
 	stop chan struct{} // signals the portable loop goroutine to exit
@@ -189,6 +196,14 @@ func (l *Loop) Portable() bool { return l.p == nil }
 
 // Closed reports whether Close has begun; Arm refuses from then on.
 func (l *Loop) Closed() bool { return l.closedFlag.Load() }
+
+// Counters reports the loop's lifetime delivery totals: ready is parked
+// connections delivered because input arrived, dead is connections the
+// loop gave up on (peer gone, deadline, shutdown), expired the subset
+// of dead closed by park-deadline expiry.
+func (l *Loop) Counters() (ready, dead, expired uint64) {
+	return l.ready.Load(), l.dead.Load(), l.expired.Load()
+}
 
 // Registered reports whether the handle holds a persistent poller
 // registration. A registered handle is bound to the loop that holds the
@@ -365,6 +380,7 @@ func (l *Loop) Arm(h *Handle, deadline time.Time) bool {
 			l.detachLocked(h)
 			h.readable = true
 			l.mu.Unlock()
+			l.ready.Add(1)
 			l.cb.Ready(h.c)
 			return true
 		}
@@ -429,6 +445,7 @@ func (l *Loop) deliver(fd int32, tag int32) bool {
 	l.detachLocked(h)
 	h.readable = true
 	l.mu.Unlock()
+	l.ready.Add(1)
 	l.cb.Ready(h.c)
 	return true
 }
@@ -452,6 +469,8 @@ func (l *Loop) sweep(now int64) {
 	}
 	l.scratch = expired[:0]
 	l.mu.Unlock()
+	l.dead.Add(uint64(len(expired)))
+	l.expired.Add(uint64(len(expired)))
 	for _, h := range expired {
 		l.cb.Dead(h.c)
 	}
@@ -512,6 +531,7 @@ func (l *Loop) Close() {
 		l.detachLocked(h)
 	}
 	l.mu.Unlock()
+	l.dead.Add(uint64(len(all)))
 	for _, h := range all {
 		l.cb.Dead(h.c)
 	}
@@ -577,6 +597,7 @@ func (h *Handle) parkOnce() bool {
 			l.detachLocked(h)
 			l.inflight.Add(1)
 			l.mu.Unlock()
+			l.dead.Add(1)
 			l.cb.Dead(h.c)
 			l.inflight.Done()
 			return false
@@ -591,6 +612,7 @@ func (h *Handle) parkOnce() bool {
 	l.detachLocked(h)
 	l.inflight.Add(1)
 	l.mu.Unlock()
+	l.ready.Add(1)
 	l.cb.Ready(h.c)
 	l.inflight.Done()
 	return true

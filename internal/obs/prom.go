@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteProm renders a snapshot as a Prometheus histogram (text
+// exposition format 0.0.4): cumulative _bucket{le=...} series, _sum
+// and _count. scale converts recorded units into the exported unit —
+// 1e-9 for nanosecond histograms exported as seconds, 1 for byte
+// histograms. Empty buckets are skipped (the format permits sparse
+// bucket lists as long as they are cumulative), so a 960-bucket
+// histogram exports only the handful of edges that carry data plus
+// +Inf. Diagnostic path: allocates.
+func WriteProm(w io.Writer, name, help string, s HistSnapshot, scale float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(s.UpperBound(i))*scale, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)*scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}

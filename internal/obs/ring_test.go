@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingSingleWriterWraparound fills one ring well past its capacity
+// and checks the drain sees exactly the newest <size> events, ordered
+// and gapless.
+func TestRingSingleWriterWraparound(t *testing.T) {
+	const size = 64
+	g := NewRings(1, size)
+	const total = 10 * size
+	for i := 0; i < total; i++ {
+		g.Record(0, KindAccept, 3, int64(i), int64(i), 0, 0)
+	}
+	evs := g.Events()
+	if len(evs) != size {
+		t.Fatalf("drained %d events from a %d-slot ring, want exactly %d", len(evs), size, size)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - size + i + 1)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d (newest %d survive, in order)", i, ev.Seq, wantSeq, size)
+		}
+		if ev.A != int64(ev.Seq-1) || ev.TS != int64(ev.Seq-1) {
+			t.Fatalf("event %d payload torn: seq %d a %d ts %d", i, ev.Seq, ev.A, ev.TS)
+		}
+		if ev.Worker != 3 || ev.Kind != KindAccept {
+			t.Fatalf("event %d identity torn: %+v", i, ev)
+		}
+	}
+	if g.Recorded() != total {
+		t.Fatalf("recorded %d, want %d", g.Recorded(), total)
+	}
+}
+
+// TestRingControlRingSurvivesChurn is the flooding property the serve
+// layer depends on: rare control events on their own ring must survive
+// any volume of high-frequency events on the worker rings.
+func TestRingControlRingSurvivesChurn(t *testing.T) {
+	g := NewRings(3, 32) // rings 0,1 = workers, ring 2 = control
+	g.Record(2, KindMigrate, 1, 0, 7, 0, 1)
+	for i := 0; i < 100000; i++ {
+		g.Record(i%2, KindPark, i%2, int64(i), 0, 0, 0)
+	}
+	var migrates int
+	for _, ev := range g.Events() {
+		if ev.Kind == KindMigrate {
+			migrates++
+			if ev.A != 7 {
+				t.Fatalf("migrate event payload corrupted: %+v", ev)
+			}
+		}
+	}
+	if migrates != 1 {
+		t.Fatalf("control-ring migrate event lost under churn: found %d", migrates)
+	}
+}
+
+// TestRingConcurrentWritersNoTornEvents publishes events whose fields
+// are functions of their A operand from many goroutines onto one ring
+// while a reader drains continuously. Any event the drain accepts must
+// satisfy the invariant — a torn slot read must be rejected, never
+// surfaced.
+func TestRingConcurrentWritersNoTornEvents(t *testing.T) {
+	const (
+		writers = 8
+		each    = 5000
+	)
+	g := NewRings(1, 128)
+	stop := make(chan struct{})
+	var readers, writersWG sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range g.Events() {
+				if ev.B != 2*ev.A || ev.C != 3*ev.A || ev.TS != ev.A {
+					t.Errorf("torn event surfaced: %+v", ev)
+					return
+				}
+				if ev.Kind != KindWake {
+					t.Errorf("foreign kind surfaced: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(base int64) {
+			defer writersWG.Done()
+			for i := int64(0); i < each; i++ {
+				a := base*each + i
+				g.Record(0, KindWake, int(base), a, a, 2*a, 3*a)
+			}
+		}(int64(w))
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if rec := g.Recorded(); rec != writers*each {
+		t.Fatalf("recorded %d, want %d", rec, writers*each)
+	}
+	// After the dust settles every slot is stable: a full drain returns
+	// only valid events, at most one ring's worth.
+	evs := g.Events()
+	if len(evs) == 0 || len(evs) > 128 {
+		t.Fatalf("settled drain returned %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("drain not seq-ordered: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestRingRecordAllocs pins the hot-path contract: publishing an event
+// allocates nothing.
+func TestRingRecordAllocs(t *testing.T) {
+	g := NewRings(2, 0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		g.Record(1, KindSteal, 1, 1, 2, 3, 4)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestRingOutOfRange pins the hot-path tolerance for bad ring indexes.
+func TestRingOutOfRange(t *testing.T) {
+	g := NewRings(1, 8)
+	g.Record(-1, KindShed, 0, 0, 0, 0, 0)
+	g.Record(1, KindShed, 0, 0, 0, 0, 0)
+	if got := len(g.Events()); got != 0 {
+		t.Fatalf("out-of-range records landed: %d events", got)
+	}
+}

@@ -1,0 +1,73 @@
+package proxyaff
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsUpstreamLatency: a proxied round trip lands in the merged
+// upstream exchange-latency histogram with a plausible value, and the
+// Prometheus writer carries the proxy's series.
+func TestObsUpstreamLatency(t *testing.T) {
+	backend := startBackend(t, "origin")
+	front, p := startEdge(t, Config{}, backend)
+	conn, br := dialFront(t, front)
+
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		fmt.Fprint(conn, "GET /whoami HTTP/1.1\r\nHost: edge\r\n\r\n")
+		if code, _, _ := readResponse(t, br); code != 200 {
+			t.Fatalf("round %d: %d", i, code)
+		}
+	}
+
+	m := p.UpstreamLatencySnapshot()
+	if m.Count != rounds {
+		t.Fatalf("exchange histogram count %d, want %d", m.Count, rounds)
+	}
+	if q := m.Quantile(0.5); q <= 0 || q > int64(5*time.Second) {
+		t.Errorf("median exchange %v, not plausible for loopback", time.Duration(q))
+	}
+
+	var b strings.Builder
+	p.WriteObsMetrics(&b)
+	out := b.String()
+	for _, series := range []string{
+		"# TYPE affinity_upstream_exchange_seconds histogram",
+		"affinity_upstream_exchange_seconds_bucket{le=\"+Inf\"} 4",
+		`affinity_backend_ejections_total{backend=`,
+		`affinity_backend_ejected{backend=`,
+		"affinity_tunnels_active 0",
+		"affinity_tunneled_total 0",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("proxy metrics missing %q", series)
+		}
+	}
+}
+
+// TestObsDisabledProxy: DisableObs removes the histogram but keeps the
+// health/tunnel series, and the hot path stays hist-free.
+func TestObsDisabledProxy(t *testing.T) {
+	backend := startBackend(t, "origin")
+	front, p := startEdge(t, Config{DisableObs: true}, backend)
+	conn, br := dialFront(t, front)
+	fmt.Fprint(conn, "GET /whoami HTTP/1.1\r\nHost: edge\r\n\r\n")
+	if code, _, _ := readResponse(t, br); code != 200 {
+		t.Fatal("proxied request failed")
+	}
+
+	if snap := p.UpstreamLatencySnapshot(); snap.Count != 0 {
+		t.Error("disabled proxy recorded exchanges")
+	}
+	var b strings.Builder
+	p.WriteObsMetrics(&b)
+	if strings.Contains(b.String(), "affinity_upstream_exchange_seconds") {
+		t.Error("disabled proxy still writes the exchange histogram")
+	}
+	if !strings.Contains(b.String(), "affinity_backend_ejections_total") {
+		t.Error("health counters should survive DisableObs")
+	}
+}

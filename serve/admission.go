@@ -7,6 +7,7 @@ import (
 	"syscall"
 
 	"affinityaccept/internal/evloop"
+	"affinityaccept/internal/obs"
 )
 
 // ParkCloseNotifier is implemented by connection values that want a
@@ -119,17 +120,22 @@ func (s *Server) shedNewestParked() bool {
 	// loop's head can wake and drain; rescan once before giving up.
 	for attempt := 0; attempt < 2; attempt++ {
 		var best *evloop.Loop
+		var bestWorker int
 		var bestSeq uint64
-		for _, l := range s.loops {
+		for i, l := range s.loops {
 			if seq, ok := l.NewestSeq(); ok && (best == nil || seq > bestSeq) {
-				best, bestSeq = l, seq
+				best, bestWorker, bestSeq = l, i, seq
 			}
 		}
 		if best == nil {
 			return false
 		}
 		if c, ok := best.ShedNewest(); ok {
-			s.closeParked(c.(*parkedConn))
+			p := c.(*parkedConn)
+			// Sheds are rare, high-value decisions: control ring, where
+			// park/wake churn can't overwrite them.
+			s.recordControl(bestWorker, obs.KindShed, remotePort(p.Conn), 0, 0)
+			s.closeParked(p)
 			return true
 		}
 	}

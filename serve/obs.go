@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"affinityaccept/internal/obs"
+)
+
+// serverObs is the server's observability plane: per-worker event rings
+// plus one control ring, and the serve-layer latency histograms. All of
+// it is allocation-free on the hot path — histograms are atomic bucket
+// arrays, rings are preallocated slots — and merged only at scrape
+// time. nil when Config.DisableObs is set; every hook checks.
+type serverObs struct {
+	// rings holds Workers+1 event rings sharing one sequence counter.
+	// Ring i carries worker i's high-churn events (accept, park, wake,
+	// steal); the final ring is the control ring, reserved for the rare
+	// decisions a post-hoc "why did this flow move" question needs
+	// (migrate, shed) so park/wake churn can never evict them.
+	rings   *obs.Rings
+	control int
+
+	park    []*obs.Hist // per worker: ns parked between requests
+	steal   []*obs.Hist // per worker: queue-pop ns of stolen connections
+	migrate *obs.Hist   // ns per balance tick (BalanceTable call)
+}
+
+func newServerObs(workers, ringSize, subBits int) *serverObs {
+	o := &serverObs{
+		rings:   obs.NewRings(workers+1, ringSize),
+		control: workers,
+		park:    make([]*obs.Hist, workers),
+		steal:   make([]*obs.Hist, workers),
+		migrate: obs.NewHist(subBits),
+	}
+	for i := range o.park {
+		o.park[i] = obs.NewHist(subBits)
+		o.steal[i] = obs.NewHist(subBits)
+	}
+	return o
+}
+
+// coarseUnix is the event-timestamp source: worker w's coarse clock as
+// unix nanoseconds — one atomic load, no syscall, ~50ms resolution.
+func (s *Server) coarseUnix(w int) int64 {
+	if w < 0 || w >= len(s.loops) {
+		w = 0
+	}
+	return s.loops[w].Now().UnixNano()
+}
+
+// RecordEvent publishes one control-plane event onto worker w's event
+// ring. Application layers stacked above serve (httpaff's header-timeout
+// shed) use it to land their events in the same merged timeline as the
+// server's own. No-op when observability is disabled; zero allocations.
+func (s *Server) RecordEvent(w int, k obs.Kind, a, b, c int64) {
+	if s.obs == nil {
+		return
+	}
+	r := w
+	if r < 0 || r >= s.cfg.Workers {
+		r = 0
+	}
+	s.obs.rings.Record(r, k, w, s.coarseUnix(r), a, b, c)
+}
+
+// recordControl publishes a rare control-plane event (migrate, shed)
+// onto the control ring, where worker-ring churn cannot overwrite it.
+func (s *Server) recordControl(w int, k obs.Kind, a, b, c int64) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.rings.Record(s.obs.control, k, w, s.coarseUnix(w), a, b, c)
+}
+
+// Events drains every event ring into one timeline ordered by sequence
+// number — the server's recent control-plane history. Diagnostic path:
+// allocates. Empty when observability is disabled.
+func (s *Server) Events() []obs.Event {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.rings.Events()
+}
+
+// EventsRecorded reports how many events have been published since
+// start (including ones since overwritten by ring wraparound).
+func (s *Server) EventsRecorded() uint64 {
+	if s.obs == nil {
+		return 0
+	}
+	return s.obs.rings.Recorded()
+}
+
+// EventsDropped reports events lost to writer collisions on a lapped
+// ring slot — nonzero only under pathological event rates.
+func (s *Server) EventsDropped() uint64 {
+	if s.obs == nil {
+		return 0
+	}
+	return s.obs.rings.Dropped()
+}
+
+// ClockLag reports how far worker w's coarse clock currently trails the
+// wall clock — at most one event-loop iteration (~50ms) on a healthy
+// loop; a persistently larger lag means the loop goroutine is starved.
+func (s *Server) ClockLag(w int) time.Duration {
+	if w < 0 || w >= len(s.loops) {
+		return 0
+	}
+	return time.Since(s.loops[w].Now())
+}
+
+// ParkDurationSnapshot returns the merged park-duration histogram
+// (nanoseconds parked between requests), empty when observability is
+// disabled. Diagnostic path: allocates.
+func (s *Server) ParkDurationSnapshot() obs.HistSnapshot {
+	if s.obs == nil {
+		return obs.HistSnapshot{}
+	}
+	return mergeHists(s.obs.park)
+}
+
+// StealCostSnapshot returns the merged steal-cost histogram (queue-pop
+// nanoseconds for stolen connections). Diagnostic path: allocates.
+func (s *Server) StealCostSnapshot() obs.HistSnapshot {
+	if s.obs == nil {
+		return obs.HistSnapshot{}
+	}
+	return mergeHists(s.obs.steal)
+}
+
+func mergeHists(hs []*obs.Hist) obs.HistSnapshot {
+	m := hs[0].Snapshot()
+	for _, h := range hs[1:] {
+		m.Merge(h.Snapshot())
+	}
+	return m
+}
+
+// WriteObsMetrics renders the serve layer's observability series in
+// Prometheus text format: park/steal/migrate histograms, event-ring
+// counters, per-worker event-loop delivery counters and coarse-clock
+// lag gauges. The httpaff metrics handler composes it into the unified
+// exporter; it writes nothing when observability is disabled.
+func (s *Server) WriteObsMetrics(w io.Writer) {
+	if s.obs == nil {
+		return
+	}
+	obs.WriteProm(w, "affinity_park_duration_seconds",
+		"Time keep-alive connections spent parked between requests.",
+		mergeHists(s.obs.park), 1e-9)
+	obs.WriteProm(w, "affinity_steal_pop_seconds",
+		"Queue-pop latency of connections served via stealing.",
+		mergeHists(s.obs.steal), 1e-9)
+	obs.WriteProm(w, "affinity_migrate_tick_seconds",
+		"Duration of flow-group balance ticks (sec 3.3.2).",
+		s.obs.migrate.Snapshot(), 1e-9)
+
+	fmt.Fprintf(w, "# HELP affinity_events_recorded_total Control-plane events published to the trace rings.\n# TYPE affinity_events_recorded_total counter\naffinity_events_recorded_total %d\n",
+		s.obs.rings.Recorded())
+	fmt.Fprintf(w, "# HELP affinity_events_dropped_total Trace events lost to ring writer collisions.\n# TYPE affinity_events_dropped_total counter\naffinity_events_dropped_total %d\n",
+		s.obs.rings.Dropped())
+
+	fmt.Fprintf(w, "# HELP affinity_evloop_ready_total Parked connections delivered ready by each worker's event loop.\n# TYPE affinity_evloop_ready_total counter\n")
+	for i, l := range s.loops {
+		ready, _, _ := l.Counters()
+		fmt.Fprintf(w, "affinity_evloop_ready_total{worker=\"%d\"} %d\n", i, ready)
+	}
+	fmt.Fprintf(w, "# HELP affinity_evloop_dead_total Parked connections the event loops gave up on (peer gone, deadline, shutdown).\n# TYPE affinity_evloop_dead_total counter\n")
+	for i, l := range s.loops {
+		_, dead, _ := l.Counters()
+		fmt.Fprintf(w, "affinity_evloop_dead_total{worker=\"%d\"} %d\n", i, dead)
+	}
+	fmt.Fprintf(w, "# HELP affinity_evloop_expired_total Parked connections closed by park-deadline expiry.\n# TYPE affinity_evloop_expired_total counter\n")
+	for i, l := range s.loops {
+		_, _, expired := l.Counters()
+		fmt.Fprintf(w, "affinity_evloop_expired_total{worker=\"%d\"} %d\n", i, expired)
+	}
+	fmt.Fprintf(w, "# HELP affinity_clock_lag_seconds How far each worker's coarse clock trails the wall clock.\n# TYPE affinity_clock_lag_seconds gauge\n")
+	for i := range s.loops {
+		fmt.Fprintf(w, "affinity_clock_lag_seconds{worker=\"%d\"} %g\n", i, s.ClockLag(i).Seconds())
+	}
+}
+
+// remotePort extracts a connection's remote TCP port for event
+// operands, -1 for portless transports (unix sockets, pipes).
+func remotePort(c net.Conn) int64 {
+	if a, ok := c.RemoteAddr().(*net.TCPAddr); ok {
+		return int64(a.Port)
+	}
+	return -1
+}

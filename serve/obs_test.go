@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"affinityaccept/internal/obs"
+)
+
+// TestObsMigrationEventsMatchMoves drives a deterministic migration (the
+// same synthesized queue state TestMigrationPausesWhileAllWorkersBusy
+// uses) and checks the acceptance property of the event plane: every
+// migration the stats report has a matching KindMigrate event on the
+// control ring, operands included.
+func TestObsMigrationEventsMatchMoves(t *testing.T) {
+	s, err := New(Config{
+		Workers:          2,
+		FlowGroups:       8,
+		DisableMigration: true, // ticks are manual
+		Backlog:          40,
+		HighPct:          20,
+		LowPct:           5,
+		Handler:          echoHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	// Worker 0 goes busy, worker 1 steals, then drains: the next tick
+	// migrates exactly one group from 0 to 1.
+	for i := 0; i < 6; i++ {
+		s.bal.Push(0, nil)
+	}
+	if _, from, ok := s.bal.Pop(1); !ok || from != 0 {
+		t.Fatalf("worker 1 pop = (from %d, ok %v), want steal from 0", from, ok)
+	}
+	for i := 0; i < 1000 && s.bal.Busy(1); i++ {
+		s.bal.ObserveIdle(1, 10)
+	}
+	if n := s.balanceOnce(); n != 1 {
+		t.Fatalf("balance applied %d migrations, want 1", n)
+	}
+
+	st := s.Stats()
+	var migrates []obs.Event
+	for _, ev := range s.Events() {
+		if ev.Kind == obs.KindMigrate {
+			migrates = append(migrates, ev)
+		}
+	}
+	if uint64(len(migrates)) != st.Migrations {
+		t.Fatalf("%d migrate events for %d stats migrations", len(migrates), st.Migrations)
+	}
+	ev := migrates[0]
+	if ev.B != 0 || ev.C != 1 {
+		t.Errorf("migrate event records %d -> %d, want 0 -> 1", ev.B, ev.C)
+	}
+	if ev.A < 0 || ev.A >= int64(s.FlowGroups()) {
+		t.Errorf("migrate event group %d out of range [0, %d)", ev.A, s.FlowGroups())
+	}
+	if ev.Worker != 1 {
+		t.Errorf("migrate event attributed to worker %d, want the claimer 1", ev.Worker)
+	}
+}
+
+// TestObsParkWakeLifecycle runs one real keep-alive connection through a
+// park (the client waits between requests, so the ReadyNow fast path
+// cannot short-circuit it) and checks the event timeline and the park-
+// duration histogram both saw it.
+func TestObsParkWakeLifecycle(t *testing.T) {
+	var srv *Server
+	s, err := New(Config{
+		Workers: 1,
+		Handler: requeueEcho(&srv, 4, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = s
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 4)
+	for pass := 0; pass < 2; pass++ {
+		if _, err := conn.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+		// Idle long enough that the requeue must really park.
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	waitFor(t, 5*time.Second, func() bool {
+		var parks, wakes, accepts int
+		for _, ev := range s.Events() {
+			switch ev.Kind {
+			case obs.KindAccept:
+				accepts++
+			case obs.KindPark:
+				parks++
+			case obs.KindWake:
+				wakes++
+			}
+		}
+		return accepts >= 1 && parks >= 1 && wakes >= 1
+	}, "accept/park/wake events never all appeared")
+
+	park := s.ParkDurationSnapshot()
+	if park.Count == 0 {
+		t.Fatal("park-duration histogram recorded nothing")
+	}
+	// The client idled ~50ms before the wake; the histogram must have
+	// seen at least one park of that order.
+	if q := park.Quantile(1); q < int64(10*time.Millisecond) {
+		t.Errorf("max park duration %v, want >= 10ms", time.Duration(q))
+	}
+}
+
+// TestObsDisabled pins the off switch: no events, no histograms, no
+// metrics output, and the hooks are no-ops rather than panics.
+func TestObsDisabled(t *testing.T) {
+	s, err := New(Config{
+		Workers:    1,
+		DisableObs: true,
+		Handler:    echoHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	burst(t, s.Addr().String(), 4)
+	s.RecordEvent(0, obs.KindAccept, 1, 2, 3)
+	if evs := s.Events(); len(evs) != 0 {
+		t.Fatalf("disabled server produced %d events", len(evs))
+	}
+	if s.EventsRecorded() != 0 || s.EventsDropped() != 0 {
+		t.Error("disabled server counted events")
+	}
+	var b strings.Builder
+	s.WriteObsMetrics(&b)
+	if b.Len() != 0 {
+		t.Fatalf("disabled server wrote metrics:\n%s", b.String())
+	}
+	if snap := s.ParkDurationSnapshot(); snap.Count != 0 {
+		t.Error("disabled server has park histogram data")
+	}
+}
+
+// TestWriteObsMetricsSeries checks the serve layer's Prometheus writer
+// emits every series the unified exporter advertises, including the
+// per-worker clock-lag gauges, and that a live server's lag is sane.
+func TestWriteObsMetricsSeries(t *testing.T) {
+	s, err := New(Config{
+		Workers: 2,
+		Handler: echoHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	burst(t, s.Addr().String(), 8)
+
+	var b strings.Builder
+	s.WriteObsMetrics(&b)
+	out := b.String()
+	for _, series := range []string{
+		"# TYPE affinity_park_duration_seconds histogram",
+		"# TYPE affinity_steal_pop_seconds histogram",
+		"# TYPE affinity_migrate_tick_seconds histogram",
+		"affinity_events_recorded_total ",
+		"affinity_events_dropped_total 0",
+		`affinity_evloop_ready_total{worker="0"}`,
+		`affinity_evloop_dead_total{worker="1"}`,
+		`affinity_evloop_expired_total{worker="0"}`,
+		`affinity_clock_lag_seconds{worker="0"}`,
+		`affinity_clock_lag_seconds{worker="1"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("metrics output missing %q", series)
+		}
+	}
+	for w := 0; w < 2; w++ {
+		if lag := s.ClockLag(w); lag < 0 || lag > 5*time.Second {
+			t.Errorf("worker %d clock lag %v not plausible for a live loop", w, lag)
+		}
+	}
+	st := s.Stats()
+	for i, w := range st.Workers {
+		if w.ClockLagUs < 0 {
+			t.Errorf("worker %d negative clock lag %dus", i, w.ClockLagUs)
+		}
+	}
+}

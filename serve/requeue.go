@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"affinityaccept/internal/evloop"
+	"affinityaccept/internal/obs"
 )
 
 // forcePortableParking makes New build its park loops without the
@@ -44,6 +45,13 @@ type parkedConn struct {
 	// migration semantics don't depend on the park loop. -1 until the
 	// first park.
 	loop int32
+
+	// armedAt is the obs.Nanos timestamp of the last slow-path park, 0
+	// when the connection took the ReadyNow fast path (no park
+	// happened). Written strictly before Arm and read after the loop's
+	// delivery, so the loop's mutex orders the accesses; the wake path
+	// turns it into the park-duration histogram sample.
+	armedAt int64
 }
 
 // Close is the handler's half of the ownership contract: a handler
@@ -122,16 +130,24 @@ func (s *Server) Requeue(conn net.Conn) bool {
 	// queues forever. (Loops close together; checking the first is
 	// enough, and Arm re-checks its own loop authoritatively.)
 	if !s.loops[0].Closed() && p.h.ReadyNow() {
+		p.armedAt = 0 // no park: the wake path must not bill a duration
 		s.requeued.Add(1)
 		s.parkWake(p)
 		return true
 	}
 	w := s.parkWorker(p)
+	if s.obs != nil {
+		p.armedAt = obs.Nanos()
+	}
+	// p.loop (like armedAt) must be written before Arm publishes the
+	// handle: the loop-side callbacks read both, and Arm's mutex is the
+	// happens-before edge that makes the plain fields safe.
+	p.loop = int32(w)
 	if !s.loops[w].Arm(&p.h, parkDeadline(p.Conn)) {
 		return false // shutting down: nothing registered, p is plain garbage when fresh
 	}
-	p.loop = int32(w)
 	s.requeued.Add(1)
+	s.RecordEvent(w, obs.KindPark, remotePort(p.Conn), 0, 0)
 	return true
 }
 
@@ -175,6 +191,21 @@ func parkDeadline(c net.Conn) time.Time {
 func (s *Server) parkWake(c net.Conn) {
 	p := c.(*parkedConn)
 	worker := s.route(p)
+	if s.obs != nil {
+		if at := p.armedAt; at != 0 {
+			p.armedAt = 0
+			d := obs.Nanos() - at
+			s.obs.park[worker].Record(d)
+			s.RecordEvent(worker, obs.KindWake, remotePort(p.Conn), d, 0)
+			if p.loop >= 0 && int(p.loop) != worker {
+				// The flow group migrated while the connection was
+				// parked: it woke on its park loop but routes to the
+				// group's new owner — the moment §3.3.2 pays off for a
+				// requeued connection.
+				s.RecordEvent(worker, obs.KindReroute, remotePort(p.Conn), int64(p.loop), 0)
+			}
+		}
+	}
 	if !s.bal.Push(worker, p) {
 		s.closeParked(p) // queue overflow: shed load, as at accept time
 		return
@@ -185,7 +216,11 @@ func (s *Server) parkWake(c net.Conn) {
 // parkDead is the loops' Dead callback: the loop gave up on a parked
 // connection — peer gone, park deadline expired, or shutdown swept it.
 func (s *Server) parkDead(c net.Conn) {
-	s.closeParked(c.(*parkedConn))
+	p := c.(*parkedConn)
+	if w := int(p.loop); w >= 0 {
+		s.RecordEvent(w, obs.KindParkDead, remotePort(p.Conn), 0, 0)
+	}
+	s.closeParked(p)
 }
 
 // closeParked closes a parked connection server-side and fires its

@@ -49,6 +49,7 @@ import (
 	"affinityaccept/internal/admit"
 	"affinityaccept/internal/core"
 	"affinityaccept/internal/evloop"
+	"affinityaccept/internal/obs"
 )
 
 // Handler serves one accepted connection. The handler owns the
@@ -143,6 +144,20 @@ type Config struct {
 	// locality (ServedLocal), request memory (Pool) and upstream
 	// connection reuse (Upstream).
 	WorkerUpstream func(worker int) PoolStats
+
+	// EventRingSize is the per-worker control-plane event ring's slot
+	// count, rounded up to a power of two (0 = 1024). One extra ring of
+	// the same size holds the rare migrate/shed events so worker-ring
+	// churn cannot evict them.
+	EventRingSize int
+	// HistSubBits sets the latency-histogram resolution: 2^HistSubBits
+	// sub-buckets per power of two, a worst-case relative quantile
+	// error of 2^-HistSubBits (0 = 4, i.e. 6.25%; max 8).
+	HistSubBits int
+	// DisableObs turns the observability plane off entirely: no event
+	// rings, no serve-layer histograms, and the hot paths skip even the
+	// clock reads that feed them.
+	DisableObs bool
 }
 
 func (c *Config) fill() error {
@@ -184,6 +199,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxConns < 0 || c.PerIPAcceptRate < 0 || c.PerIPAcceptBurst < 0 {
 		return errors.New("serve: MaxConns, PerIPAcceptRate and PerIPAcceptBurst must be non-negative")
+	}
+	if c.EventRingSize < 0 || c.HistSubBits < 0 {
+		return errors.New("serve: EventRingSize and HistSubBits must be non-negative")
 	}
 	if c.PerIPAcceptRate > 0 && c.PerIPAcceptBurst == 0 {
 		c.PerIPAcceptBurst = 8
@@ -242,6 +260,11 @@ type Server struct {
 	shedParked     atomic.Uint64 // parked conns closed to make room (budget or fd pressure)
 	budgetRejected atomic.Uint64 // conns rejected because the budget was exhausted and nothing was parked
 	acceptRetries  atomic.Uint64 // transient accept errors survived (EMFILE/ENFILE/ECONNABORTED)
+
+	// obs is the observability plane: event rings and serve-layer
+	// histograms. nil when Config.DisableObs is set — every hook
+	// nil-checks, so disabling removes even the timestamp reads.
+	obs *serverObs
 }
 
 // workerState holds one worker's atomically updated counters.
@@ -268,6 +291,9 @@ func New(cfg Config) (*Server, error) {
 		wake:    make(chan struct{}, cfg.Workers),
 		drainCh: make(chan struct{}),
 		workers: make([]workerState, cfg.Workers),
+	}
+	if !cfg.DisableObs {
+		s.obs = newServerObs(cfg.Workers, cfg.EventRingSize, cfg.HistSubBits)
 	}
 	s.loops = make([]*evloop.Loop, cfg.Workers)
 	for i := range s.loops {
@@ -457,6 +483,7 @@ func (s *Server) acceptLoop(idx int, l net.Listener) {
 			// The bucket is the acceptor's own, so a flood's cost is
 			// one accept+close per attempt and no shared-state touch.
 			s.ratelimited.Add(1)
+			s.RecordEvent(idx, obs.KindRatelimit, remotePort(conn), 0, 0)
 			conn.Close()
 			continue
 		}
@@ -468,6 +495,7 @@ func (s *Server) acceptLoop(idx int, l net.Listener) {
 		}
 		worker := s.route(conn)
 		s.workers[worker].accepted.Add(1)
+		s.RecordEvent(worker, obs.KindAccept, remotePort(conn), 0, 0)
 		if !s.bal.Push(worker, conn) {
 			conn.Close() // queue overflow: shed load (§3.3 drop)
 			continue
@@ -496,10 +524,21 @@ func (s *Server) migrateLoop() {
 
 // balanceOnce applies one migration tick and attributes each claimed
 // group to its new owner. Tests drive it directly for determinism.
+// Every applied move lands on the control event ring — migrations are
+// the decisions a "why did this flow move" question needs, and the
+// control ring guarantees park/wake churn can't evict them.
 func (s *Server) balanceOnce() int {
+	var t0 int64
+	if s.obs != nil {
+		t0 = obs.Nanos()
+	}
 	moves := s.bal.BalanceTable(s.flow, nil)
 	for _, m := range moves {
 		s.workers[m.To].migratedIn.Add(1)
+		s.recordControl(m.To, obs.KindMigrate, int64(m.Group), int64(m.From), int64(m.To))
+	}
+	if s.obs != nil {
+		s.obs.migrate.Record(obs.Nanos() - t0)
 	}
 	return len(moves)
 }
@@ -528,6 +567,10 @@ func (s *Server) workerLoop(worker int) {
 	poll := time.NewTimer(time.Hour)
 	defer poll.Stop()
 	for {
+		var t0 int64
+		if s.obs != nil {
+			t0 = obs.Nanos()
+		}
 		conn, from, ok := s.bal.Pop(worker)
 		if ok {
 			idleMark = time.Time{}
@@ -535,6 +578,13 @@ func (s *Server) workerLoop(worker int) {
 				st.servedLocal.Add(1)
 			} else {
 				st.servedStolen.Add(1)
+				if s.obs != nil {
+					// Steal cost: the pop itself — the cross-queue lock
+					// walk the paper's policy pays for load balance.
+					d := obs.Nanos() - t0
+					s.obs.steal[worker].Record(d)
+					s.RecordEvent(worker, obs.KindSteal, int64(from), d, 0)
+				}
 			}
 			st.active.Add(1)
 			s.handler(worker, conn)
@@ -666,6 +716,7 @@ func (s *Server) Stats() Stats {
 			GroupsOwned:  groups[i],
 			MigratedIn:   w.migratedIn.Load(),
 			Parked:       s.loops[i].Len(),
+			ClockLagUs:   s.ClockLag(i).Microseconds(),
 		}
 		if s.cfg.WorkerPool != nil {
 			st.Workers[i].Pool = s.cfg.WorkerPool(i)

@@ -38,6 +38,11 @@ type WorkerStats struct {
 	// worker; MigratedIn counts groups it claimed via §3.3.2 migration.
 	GroupsOwned int
 	MigratedIn  uint64
+	// ClockLagUs is how far this worker's coarse event-loop clock
+	// trailed the wall clock at snapshot time, in microseconds. Healthy
+	// loops stay under one poll interval (~50ms); a persistently larger
+	// lag means the loop goroutine is starved of CPU.
+	ClockLagUs int64
 	// Pool is this worker's application object-pool traffic (zero
 	// unless Config.WorkerPool is set).
 	Pool PoolStats
@@ -156,13 +161,13 @@ func (s Stats) String() string {
 	// drift however wide the numbers get. TestStatsStringGolden pins
 	// the alignment.
 	const (
-		statsHeaderFmt = "%-6s %11s %11s %11s %7s %7s %8s %7s %8s %5s"
-		statsRowFmt    = "%-6d %11d %11d %11d %7d %7d %8d %7d %8d %5s"
+		statsHeaderFmt = "%-6s %11s %11s %11s %7s %7s %8s %7s %8s %8s %5s"
+		statsRowFmt    = "%-6d %11d %11d %11d %7d %7d %8d %7d %8d %8d %5s"
 		poolHeaderFmt  = " %10s %7s"
 		poolRowFmt     = " %10d %7.1f"
 	)
 	fmt.Fprintf(&b, statsHeaderFmt,
-		"worker", "accepted", "local", "stolen", "active", "qdepth", "parked", "groups", "migr-in", "busy")
+		"worker", "accepted", "local", "stolen", "active", "qdepth", "parked", "groups", "migr-in", "lag-us", "busy")
 	if pools {
 		fmt.Fprintf(&b, poolHeaderFmt, "pool-get", "reuse%")
 	}
@@ -177,7 +182,7 @@ func (s Stats) String() string {
 		}
 		fmt.Fprintf(&b, statsRowFmt,
 			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth,
-			w.Parked, w.GroupsOwned, w.MigratedIn, busy)
+			w.Parked, w.GroupsOwned, w.MigratedIn, w.ClockLagUs, busy)
 		if pools {
 			fmt.Fprintf(&b, poolRowFmt, w.Pool.Gets(), w.Pool.ReusePct())
 		}

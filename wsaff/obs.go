@@ -1,0 +1,29 @@
+package wsaff
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteObsMetrics renders the WebSocket subsystem's counters in
+// Prometheus text format. Pass it as an extra to httpaff.MetricsHandler
+// so the unified scrape endpoint covers this layer too.
+func (ws *WS) WriteObsMetrics(w io.Writer) {
+	st := ws.Stats()
+	fmt.Fprintf(w, "# HELP affinity_ws_open Sockets currently open.\n# TYPE affinity_ws_open gauge\naffinity_ws_open %d\n", st.Open)
+	fmt.Fprintf(w, "# HELP affinity_ws_subscribers Current broadcast subscriptions.\n# TYPE affinity_ws_subscribers gauge\naffinity_ws_subscribers %d\n", st.Subscribers)
+	fmt.Fprintf(w, "# HELP affinity_ws_frames_total Wire frames, by direction.\n# TYPE affinity_ws_frames_total counter\n")
+	fmt.Fprintf(w, "affinity_ws_frames_total{direction=\"in\"} %d\n", st.FramesIn)
+	fmt.Fprintf(w, "affinity_ws_frames_total{direction=\"out\"} %d\n", st.FramesOut)
+	fmt.Fprintf(w, "# HELP affinity_ws_messages_total Reassembled messages delivered to OnMessage.\n# TYPE affinity_ws_messages_total counter\naffinity_ws_messages_total %d\n", st.MessagesIn)
+	fmt.Fprintf(w, "# HELP affinity_ws_pings_sent_total Timer-wheel keep-alive pings sent.\n# TYPE affinity_ws_pings_sent_total counter\naffinity_ws_pings_sent_total %d\n", st.PingsSent)
+	fmt.Fprintf(w, "# HELP affinity_ws_pongs_received_total Pong replies received (each rode the park-route-pass path).\n# TYPE affinity_ws_pongs_received_total counter\naffinity_ws_pongs_received_total %d\n", st.PongsReceived)
+	fmt.Fprintf(w, "# HELP affinity_ws_broadcasts_total Broadcast calls published.\n# TYPE affinity_ws_broadcasts_total counter\naffinity_ws_broadcasts_total %d\n", st.Broadcasts)
+	fmt.Fprintf(w, "# HELP affinity_ws_broadcast_delivered_total Per-connection broadcast frame deliveries.\n# TYPE affinity_ws_broadcast_delivered_total counter\naffinity_ws_broadcast_delivered_total %d\n", st.Delivered)
+	fmt.Fprintf(w, "# HELP affinity_ws_broadcast_dropped_total Whole-shard broadcast drops at full queues.\n# TYPE affinity_ws_broadcast_dropped_total counter\naffinity_ws_broadcast_dropped_total %d\n", st.Dropped)
+	fmt.Fprintf(w, "# HELP affinity_ws_closes_total Connections finished.\n# TYPE affinity_ws_closes_total counter\naffinity_ws_closes_total %d\n", st.Closes)
+	fmt.Fprintf(w, "# HELP affinity_ws_codec_reuses_total Codec-buffer acquisitions served from the worker's warm buffers.\n# TYPE affinity_ws_codec_reuses_total counter\n")
+	for i, ps := range st.Workers {
+		fmt.Fprintf(w, "affinity_ws_codec_reuses_total{worker=\"%d\"} %d\n", i, ps.Reuses)
+	}
+}

@@ -1,0 +1,35 @@
+package wsaff
+
+import (
+	"strings"
+	"testing"
+
+	"affinityaccept/httpaff"
+)
+
+// TestWriteObsMetricsSeries drives one echo exchange and checks the
+// Prometheus writer reports it across the subsystem's series.
+func TestWriteObsMetricsSeries(t *testing.T) {
+	srv, ws := startWS(t, Config{}, httpaff.Config{})
+	c := dialWS(t, srv.Addr().String())
+	c.send(t, true, OpText, []byte("hello"))
+	c.expectMessage(t, OpText, "hello")
+
+	var b strings.Builder
+	ws.WriteObsMetrics(&b)
+	out := b.String()
+	for _, series := range []string{
+		"affinity_ws_open 1",
+		"affinity_ws_frames_total{direction=\"in\"}",
+		"affinity_ws_frames_total{direction=\"out\"}",
+		"affinity_ws_messages_total 1",
+		"affinity_ws_pings_sent_total",
+		"affinity_ws_broadcast_dropped_total 0",
+		`affinity_ws_codec_reuses_total{worker="0"}`,
+		`affinity_ws_codec_reuses_total{worker="1"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("ws metrics missing %q", series)
+		}
+	}
+}
