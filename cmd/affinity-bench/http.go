@@ -40,10 +40,18 @@ type httpOpts struct {
 	// and /debug/events at this period for the whole window — the CI
 	// gate that observability reads don't tax the serving path.
 	scrapeEvery time.Duration
+
+	// tracePath, when set, saves the run's control-plane timeline as a
+	// Chrome trace-event file after shutdown. chips feeds the NUMA
+	// attribution pass (serve.Config.Chips).
+	tracePath string
+	chips     int
 }
 
 func (o httpOpts) scenario() string {
 	switch {
+	case o.tracePath != "":
+		return "http-keepalive-traced"
 	case o.scrapeEvery > 0:
 		return "http-keepalive-scraped"
 	case o.migrate:
@@ -80,6 +88,12 @@ func runHTTPBench(o httpOpts) error {
 	r.Handle("/debug/events", func(ctx *httpaff.RequestCtx) {
 		httpaff.EventsHandler(srv)(ctx)
 	})
+	r.Handle("/debug/flows", func(ctx *httpaff.RequestCtx) {
+		httpaff.FlowsHandler(srv, httpaff.FlowsConfig{})(ctx)
+	})
+	r.Handle("/debug/trace", func(ctx *httpaff.RequestCtx) {
+		httpaff.TraceHandler(srv)(ctx)
+	})
 	srv, err := httpaff.New(httpaff.Config{
 		Addr:             o.addr,
 		Workers:          o.workers,
@@ -87,6 +101,7 @@ func runHTTPBench(o httpOpts) error {
 		FlowGroups:       o.groups,
 		MigrateInterval:  o.migrateEvery,
 		DisableMigration: !o.migrate,
+		Chips:            o.chips,
 		Handler:          r.Serve,
 	})
 	if err != nil {
@@ -155,6 +170,15 @@ func runHTTPBench(o httpOpts) error {
 	}
 	fmt.Print(st)
 
+	var traceSpans int
+	if o.tracePath != "" {
+		traceSpans, err = saveTrace(o.tracePath, o.workers, srv.Events())
+		if err != nil {
+			return fmt.Errorf("write %s: %w", o.tracePath, err)
+		}
+		fmt.Printf("trace: %d residency spans written to %s\n", traceSpans, o.tracePath)
+	}
+
 	rep := benchReport{
 		Scenario:     o.scenario(),
 		Workers:      o.workers,
@@ -180,6 +204,12 @@ func runHTTPBench(o httpOpts) error {
 		SrvP99us:     float64(srvQ[1].Nanoseconds()) / 1e3,
 		SrvP999us:    float64(srvQ[2].Nanoseconds()) / 1e3,
 		Scrapes:      scrapes,
+
+		Chips:               o.chips,
+		CrossChipSteals:     st.CrossChipSteals,
+		CrossChipMigrations: st.CrossChipMigrations,
+		TraceFile:           o.tracePath,
+		TraceSpans:          traceSpans,
 	}
 	rep.fillEnv()
 	if o.jsonPath != "" {

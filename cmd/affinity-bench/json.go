@@ -57,6 +57,20 @@ type benchReport struct {
 	// MigrateEvents == Migrations.
 	MigrateEvents uint64 `json:"migrateEvents,omitempty"`
 
+	// Flow-journey and NUMA-attribution fields. Journeys is the stitched
+	// per-group journey count at window end; JourneyMigrateHops the
+	// migrate hops summed across those journeys (the acceptance property
+	// in -longlived mode is JourneyMigrateHops == Migrations). Chips,
+	// CrossChipSteals and CrossChipMigrations come from the -chips
+	// attribution pass. TraceFile/TraceSpans record the -trace export.
+	Journeys            int    `json:"journeys,omitempty"`
+	JourneyMigrateHops  uint64 `json:"journeyMigrateHops,omitempty"`
+	Chips               int    `json:"chips,omitempty"`
+	CrossChipSteals     uint64 `json:"crossChipSteals,omitempty"`
+	CrossChipMigrations uint64 `json:"crossChipMigrations,omitempty"`
+	TraceFile           string `json:"traceFile,omitempty"`
+	TraceSpans          int    `json:"traceSpans,omitempty"`
+
 	// proxyaff upstream connection-pool counters (proxy scenarios only).
 	Backends         int     `json:"backends,omitempty"`
 	UpstreamGets     uint64  `json:"upstreamGets,omitempty"`

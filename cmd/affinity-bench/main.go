@@ -87,6 +87,8 @@ func main() {
 		migrateEvery = flag.Duration("migrate-interval", 0, "migration tick (0 = the paper's 100ms)")
 		groups       = flag.Int("groups", 0, "flow-group count (0 = the paper's 4096; -longlived defaults to 16)")
 		scrapeEvery  = flag.Duration("scrape-every", 0, "in -http mode, fetch /metrics and /debug/events at this period during the run (0 = no scraper)")
+		tracePath    = flag.String("trace", "", "save the run's control-plane timeline as a Chrome trace-event file (load in chrome://tracing or Perfetto); -serve and -http modes")
+		chips        = flag.Int("chips", 0, "simulated chip count for the NUMA attribution pass (0 or 1 = flat single-chip)")
 		jsonPath     = flag.String("json", "", "append this run's metrics to a JSON array file (e.g. BENCH_ci.json)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -201,6 +203,8 @@ func main() {
 			groups:       *groups,
 			jsonPath:     *jsonPath,
 			scrapeEvery:  *scrapeEvery,
+			tracePath:    *tracePath,
+			chips:        *chips,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -226,6 +230,8 @@ func main() {
 			migrateEvery: *migrateEvery,
 			groups:       *groups,
 			jsonPath:     *jsonPath,
+			tracePath:    *tracePath,
+			chips:        *chips,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -37,6 +37,8 @@ type serveOpts struct {
 	migrateEvery time.Duration // migration tick (0 = paper default)
 	groups       int           // flow-group count (0 = default)
 	jsonPath     string        // append metrics to this JSON array file
+	tracePath    string        // save a Chrome trace-event file here
+	chips        int           // simulated chip count for NUMA attribution
 }
 
 // scenario names the run for reports and the JSON trajectory file.
@@ -87,6 +89,7 @@ func runServeBench(o serveOpts) error {
 			FlowGroups:       o.groups,
 			MigrateInterval:  o.migrateEvery,
 			DisableMigration: !o.migrate,
+			Chips:            o.chips,
 		}
 		switch {
 		case o.longlived > 0:
@@ -197,10 +200,13 @@ func runServeBench(o serveOpts) error {
 			// left a KindMigrate event (the rare-event ring never evicts
 			// them for park/wake churn), so a mismatch means the trace
 			// plane lost control-plane history.
+			events := srv.Events()
 			var migrateEvents uint64
-			for _, ev := range srv.Events() {
+			migratedGroups := make(map[int32]bool)
+			for _, ev := range events {
 				if ev.Kind == obs.KindMigrate {
 					migrateEvents++
+					migratedGroups[ev.Group] = true
 				}
 			}
 			rep.MigrateEvents = migrateEvents
@@ -208,6 +214,33 @@ func runServeBench(o serveOpts) error {
 				fmt.Printf("event trace: %d migrate events on the control ring — matches the stats counter\n", migrateEvents)
 			} else {
 				fmt.Printf("event trace: WARNING %d migrate events for %d stats migrations\n", migrateEvents, st.Migrations)
+			}
+			// Stitch the timeline into per-group journeys and check the
+			// causal layer against the same counter: the migrate hops
+			// summed over journeys must equal Stats.Migrations, and every
+			// group a migrate event names must have stitched into a
+			// journey of its own.
+			journeys := obs.Stitch(events)
+			var journeyMigrates uint64
+			journeyGroups := make(map[int32]bool)
+			for _, j := range journeys {
+				journeyMigrates += uint64(j.Migrations)
+				journeyGroups[j.Group] = true
+			}
+			rep.Journeys = len(journeys)
+			rep.JourneyMigrateHops = journeyMigrates
+			missing := 0
+			for g := range migratedGroups {
+				if !journeyGroups[g] {
+					missing++
+				}
+			}
+			if journeyMigrates == st.Migrations && missing == 0 {
+				fmt.Printf("flow journeys: %d stitched; %d migrate hops — matches the stats counter, every migrated group has a journey\n",
+					len(journeys), journeyMigrates)
+			} else {
+				fmt.Printf("flow journeys: WARNING %d stitched, %d migrate hops for %d stats migrations, %d migrated groups without a journey\n",
+					len(journeys), journeyMigrates, st.Migrations, missing)
 			}
 		}
 		fmt.Print(st)
@@ -223,6 +256,18 @@ func runServeBench(o serveOpts) error {
 		rep.Migrations = st.Migrations
 		rep.Requeued = st.Requeued
 		rep.Dropped = st.Dropped
+		rep.Chips = o.chips
+		rep.CrossChipSteals = st.CrossChipSteals
+		rep.CrossChipMigrations = st.CrossChipMigrations
+		if o.tracePath != "" {
+			spans, err := saveTrace(o.tracePath, o.workers, srv.Events())
+			if err != nil {
+				return fmt.Errorf("write %s: %w", o.tracePath, err)
+			}
+			rep.TraceFile = o.tracePath
+			rep.TraceSpans = spans
+			fmt.Printf("trace: %d residency spans written to %s\n", spans, o.tracePath)
+		}
 	}
 	rep.fillEnv()
 	if o.jsonPath != "" {

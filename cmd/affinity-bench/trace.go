@@ -1,0 +1,24 @@
+// Trace export for the -trace flag: the drained control-plane timeline
+// becomes a Chrome trace-event file (one track per worker, residency
+// spans per flow group) that loads in chrome://tracing or Perfetto.
+package main
+
+import (
+	"os"
+
+	"affinityaccept/internal/obs"
+)
+
+// saveTrace writes the event timeline to path in Chrome trace-event
+// format and returns the residency-span count.
+func saveTrace(path string, workers int, events []obs.Event) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	spans, err := obs.WriteTrace(f, workers, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return spans, err
+}

@@ -111,12 +111,16 @@ func main() {
 	router.Handle("/_stats", httpaff.StatsHandler(edge.Transport()))
 	router.Handle("/metrics", httpaff.MetricsHandler(edge, proxy.WriteObsMetrics))
 	router.Handle("/debug/events", httpaff.EventsHandler(edge))
+	// Flow journeys and the Chrome trace export: affinity-top polls
+	// /debug/flows; /debug/trace loads in chrome://tracing / Perfetto.
+	router.Handle("/debug/flows", httpaff.FlowsHandler(edge, httpaff.FlowsConfig{}))
+	router.Handle("/debug/trace", httpaff.TraceHandler(edge))
 	pprofAddr := startPprof()
 	edge.Start()
 	addr := edge.Addr().String()
 	fmt.Printf("edge: %d workers on %s (sharded=%v) fronting %s and %s, worker-pinned upstream pools\n",
 		workers, addr, edge.Sharded(), originA.Addr(), originB.Addr())
-	fmt.Printf("observability: http://%s/metrics (edge + proxy series), /debug/events; pprof on http://%s/debug/pprof/\n\n",
+	fmt.Printf("observability: http://%s/metrics (edge + proxy series), /debug/events, /debug/flows, /debug/trace; pprof on http://%s/debug/pprof/\n\n",
 		addr, pprofAddr)
 
 	var requests, failures atomic.Int64

@@ -60,6 +60,15 @@ func main() {
 	router.Handle("/debug/events", func(ctx *httpaff.RequestCtx) {
 		httpaff.EventsHandler(srv)(ctx)
 	})
+	// The flow-journey layer: stitched per-group journeys (poll with
+	// affinity-top, or curl "/debug/flows?group=N&since=SEQ") and the
+	// Chrome trace export for chrome://tracing / Perfetto.
+	router.Handle("/debug/flows", func(ctx *httpaff.RequestCtx) {
+		httpaff.FlowsHandler(srv, httpaff.FlowsConfig{})(ctx)
+	})
+	router.Handle("/debug/trace", func(ctx *httpaff.RequestCtx) {
+		httpaff.TraceHandler(srv)(ctx)
+	})
 	// Go's profiler serves over net/http; a sidecar listener keeps the
 	// hot httpaff path out of the stock mux's allocation profile.
 	pprofAddr := startPprof()
@@ -77,7 +86,7 @@ func main() {
 	addr := srv.Addr().String()
 	fmt.Printf("web farm: %d workers on %s (sharded=%v), %d net/http clients, %d reqs/conn\n",
 		workers, addr, srv.Sharded(), clients, reqsPerConn)
-	fmt.Printf("observability: http://%s/metrics and /debug/events; pprof on http://%s/debug/pprof/\n\n",
+	fmt.Printf("observability: http://%s/metrics, /debug/events, /debug/flows, /debug/trace; pprof on http://%s/debug/pprof/\n\n",
 		addr, pprofAddr)
 
 	var requests, failures atomic.Int64

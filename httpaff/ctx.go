@@ -379,7 +379,7 @@ func (ctx *RequestCtx) appendResponse(closing bool) {
 	b = append(b, serverColon...)
 	b = append(b, ctx.srv.name...)
 	b = append(b, dateColon...)
-	b = append(b, ctx.srv.dateBytes()...)
+	b = ctx.srv.date.appendTo(b)
 	b = append(b, ctypeColon...)
 	b = append(b, ctx.resp.contentType...)
 	b = append(b, clenColon...)

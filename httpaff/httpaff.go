@@ -162,6 +162,7 @@ type Config struct {
 	MaxConns         int
 	PerIPAcceptRate  float64
 	PerIPAcceptBurst int
+	Chips            int
 }
 
 func (c *Config) fill() error {
@@ -218,9 +219,14 @@ type Server struct {
 	stopOnce sync.Once
 
 	// date is the cached RFC 1123 Date header value, refreshed once a
-	// second so responses never format time on the hot path.
-	date     atomic.Pointer[[]byte]
-	stopDate chan struct{}
+	// second so responses never format time on the hot path. It is held
+	// in atomics (seqlock-style, like the event rings) rather than an
+	// atomic.Pointer to a fresh buffer so the once-a-second refresh
+	// allocates nothing: a background tick that allocated would show up
+	// as a residual in the steady-state zero-alloc gates.
+	date        atomicDate
+	dateScratch [dateWords * 8]byte // refreshDate's format buffer (single writer)
+	stopDate    chan struct{}
 
 	// shed503 is the complete, pre-serialized 503-with-Retry-After
 	// response admission sheds write: built once at New so the shed
@@ -300,6 +306,7 @@ func New(cfg Config) (*Server, error) {
 		MaxConns:         cfg.MaxConns,
 		PerIPAcceptRate:  cfg.PerIPAcceptRate,
 		PerIPAcceptBurst: cfg.PerIPAcceptBurst,
+		Chips:            cfg.Chips,
 		EventRingSize:    cfg.EventRingSize,
 		HistSubBits:      cfg.HistSubBits,
 		DisableObs:       cfg.DisableObs,
@@ -380,11 +387,64 @@ func (s *Server) dateLoop() {
 }
 
 func (s *Server) refreshDate() {
-	b := time.Now().UTC().AppendFormat(make([]byte, 0, 32), http.TimeFormat)
-	s.date.Store(&b)
+	b := time.Now().UTC().AppendFormat(s.dateScratch[:0], http.TimeFormat)
+	s.date.store(b)
 }
 
-func (s *Server) dateBytes() []byte { return *s.date.Load() }
+// dateWords is the atomicDate payload size in uint64 words; 4 words =
+// 32 bytes comfortably holds the 29-byte RFC 1123 form.
+const dateWords = 4
+
+// atomicDate publishes a short byte string through plain atomics — a
+// single-writer seqlock. The reader never sees a torn value (the
+// version check rejects concurrent writes) and, unlike handing out a
+// shared buffer, every access is an atomic operation, so the race
+// detector stays satisfied without a per-refresh allocation.
+type atomicDate struct {
+	seq atomic.Uint32 // odd while a store is in flight
+	n   atomic.Uint32
+	w   [dateWords]atomic.Uint64
+}
+
+// store publishes b (at most dateWords*8 bytes; single writer).
+func (d *atomicDate) store(b []byte) {
+	d.seq.Add(1) // now odd: readers retry
+	var w [dateWords]uint64
+	for i, c := range b {
+		w[i/8] |= uint64(c) << (8 * uint(i%8))
+	}
+	for i := range d.w {
+		d.w[i].Store(w[i])
+	}
+	d.n.Store(uint32(len(b)))
+	d.seq.Add(1) // even again: value is consistent
+}
+
+// appendTo appends the current value to dst without allocating beyond
+// dst's own growth.
+func (d *atomicDate) appendTo(dst []byte) []byte {
+	for {
+		s1 := d.seq.Load()
+		if s1&1 != 0 {
+			continue // store in flight
+		}
+		n := d.n.Load()
+		var w [dateWords]uint64
+		for i := range d.w {
+			w[i] = d.w[i].Load()
+		}
+		if d.seq.Load() != s1 {
+			continue // raced with a store; reread
+		}
+		if n > dateWords*8 {
+			n = dateWords * 8
+		}
+		for i := uint32(0); i < n; i++ {
+			dst = append(dst, byte(w[i/8]>>(8*uint(i%8))))
+		}
+		return dst
+	}
+}
 
 // TakeoverFunc serves one pass of a connection whose protocol has been
 // upgraded away from HTTP (RequestCtx.Hijack). It runs inline on the
@@ -503,7 +563,8 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		// flows the server has been curating keep their workers.
 		if s.cfg.ShedOnOverload && s.srv.Overloaded() {
 			s.admitw[worker].overloadSheds.Add(1)
-			s.srv.RecordEvent(worker, obs.KindShed, 0, 0, 0)
+			port, group := connGroup(s, nc)
+			s.srv.RecordGroupEvent(worker, obs.KindShed, group, 0, port, 0)
 			nc.Write(s.shed503)
 			nc.Close()
 			return
@@ -511,7 +572,8 @@ func (s *Server) serveConn(worker int, nc net.Conn) {
 		if s.cfg.MaxInflightHeaders > 0 {
 			if !s.takeHeaderSlot() {
 				s.admitw[worker].headerSheds.Add(1)
-				s.srv.RecordEvent(worker, obs.KindShed, 1, 0, 0)
+				port, group := connGroup(s, nc)
+				s.srv.RecordGroupEvent(worker, obs.KindShed, group, 1, port, 0)
 				nc.Write(s.shed503)
 				nc.Close()
 				return

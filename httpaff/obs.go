@@ -3,6 +3,7 @@ package httpaff
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"time"
 
 	"affinityaccept/internal/obs"
@@ -86,6 +87,17 @@ func (s *Server) WriteObsMetrics(w io.Writer) {
 // see serve.Server.Events.
 func (s *Server) Events() []obs.Event { return s.srv.Events() }
 
+// connGroup resolves a connection's remote port and flow group — the
+// journey tag httpaff's own events (sheds, header timeouts) carry so
+// they stitch into the same per-group timeline as the transport's
+// accept/steal/migrate hops. (-1, -1) for portless transports.
+func connGroup(s *Server, nc net.Conn) (port int64, group int) {
+	if a, ok := nc.RemoteAddr().(*net.TCPAddr); ok {
+		return int64(a.Port), s.srv.GroupOfPort(int64(a.Port))
+	}
+	return -1, -1
+}
+
 // eventsBody is the JSON shape EventsHandler serves.
 type eventsBody struct {
 	Recorded uint64      `json:"recorded"`
@@ -96,11 +108,15 @@ type eventsBody struct {
 // EventsHandler returns a handler serving the control-plane event
 // timeline as JSON: every accept/steal/migrate/park/wake/shed decision
 // still held by the trace rings, ordered by sequence number, plus the
-// recorded/dropped totals. Mount it on a Router path (conventionally
+// recorded/dropped totals. The since=SEQ query parameter makes polling
+// incremental: only events with a larger sequence number are returned,
+// so a poller that passes the largest Seq it has seen receives each
+// event exactly once. Mount it on a Router path (conventionally
 // "/debug/events"). Diagnostic, not hot-path: it allocates.
 func EventsHandler(srv *Server) HandlerFunc {
 	return func(ctx *RequestCtx) {
-		evs := srv.srv.Events()
+		since := uint64(queryInt(ctx.Query(), "since", 0))
+		evs := srv.srv.EventsSince(since)
 		if evs == nil {
 			evs = []obs.Event{}
 		}

@@ -184,3 +184,210 @@ func TestEventsHandlerJSON(t *testing.T) {
 		t.Error("timeline has no accept event")
 	}
 }
+
+// TestEventsHandlerSinceCursor pins the incremental-poll contract over
+// the wire: a poller that always passes the largest Seq it has seen
+// receives every event exactly once — nothing double-delivered, nothing
+// skipped — however the polls interleave with new traffic.
+func TestEventsHandlerSinceCursor(t *testing.T) {
+	var s *Server
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	r.Handle("/debug/events", func(ctx *RequestCtx) { EventsHandler(s)(ctx) })
+	s = start(t, Config{Workers: 1, Handler: r.Serve})
+	conn, br := dial(t, s)
+
+	poll := func(since uint64) []obs.Event {
+		t.Helper()
+		fmt.Fprintf(conn, "GET /debug/events?since=%d HTTP/1.1\r\nHost: x\r\n\r\n", since)
+		code, _, raw := readResponse(t, br)
+		if code != 200 {
+			t.Fatalf("/debug/events?since=%d: %d", since, code)
+		}
+		var body struct {
+			Events []obs.Event `json:"events"`
+		}
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		return body.Events
+	}
+
+	seen := make(map[uint64]int)
+	var cursor uint64
+	for round := 0; round < 5; round++ {
+		// New traffic between polls: each request lands at least one
+		// event (accept on the first pass, park/wake on later ones).
+		fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+		readResponse(t, br)
+		for _, ev := range poll(cursor) {
+			seen[ev.Seq]++
+			if ev.Seq <= cursor {
+				t.Errorf("round %d: event seq %d at or before cursor %d", round, ev.Seq, cursor)
+			}
+			if ev.Seq > cursor {
+				cursor = ev.Seq
+			}
+		}
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("event seq %d delivered %d times, want exactly once", seq, n)
+		}
+	}
+	// Completeness: a cold full drain must see exactly the seqs the
+	// cursor polls accumulated (the rings are far from wrapping here),
+	// except events recorded after the last poll.
+	for _, ev := range poll(0) {
+		if ev.Seq <= cursor {
+			if seen[ev.Seq] != 1 {
+				t.Errorf("event seq %d visible in a full drain but skipped by the cursor polls", ev.Seq)
+			}
+		}
+	}
+}
+
+// TestFlowsHandlerJSON mounts /debug/flows and checks the stitched
+// journeys it serves: the warm-up request's flow group appears with its
+// accept hop, the group= filter narrows to one journey, and since=
+// beyond the newest event returns none.
+func TestFlowsHandlerJSON(t *testing.T) {
+	var s *Server
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	r.Handle("/debug/flows", func(ctx *RequestCtx) { FlowsHandler(s, FlowsConfig{})(ctx) })
+	s = start(t, Config{Workers: 1, Handler: r.Serve})
+	conn, br := dial(t, s)
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	readResponse(t, br)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: x\r\n\r\n", path)
+		code, headers, raw := readResponse(t, br)
+		if code == 200 && headers["content-type"] != "application/json" {
+			t.Fatalf("%s content-type %q", path, headers["content-type"])
+		}
+		return code, raw
+	}
+
+	var body struct {
+		Workers   int           `json:"workers"`
+		NextSince uint64        `json:"nextSince"`
+		Truncated bool          `json:"truncated"`
+		Journeys  []obs.Journey `json:"journeys"`
+	}
+	code, raw := get("/debug/flows")
+	if code != 200 {
+		t.Fatalf("/debug/flows: %d", code)
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("flows endpoint served invalid JSON: %v\n%s", err, raw)
+	}
+	if body.Workers != 1 || len(body.Journeys) == 0 || body.NextSince == 0 {
+		t.Fatalf("flows body implausible: workers %d, %d journeys, nextSince %d",
+			body.Workers, len(body.Journeys), body.NextSince)
+	}
+	j := body.Journeys[0]
+	if j.Group < 0 || len(j.Hops) == 0 {
+		t.Fatalf("journey has group %d with %d hops", j.Group, len(j.Hops))
+	}
+	sawAccept := false
+	for i, hop := range j.Hops {
+		if hop.Group != j.Group {
+			t.Errorf("hop %d tagged group %d inside journey %d", i, hop.Group, j.Group)
+		}
+		if i > 0 && hop.Hop <= j.Hops[i-1].Hop {
+			t.Errorf("hop counters not strictly increasing: %d after %d", hop.Hop, j.Hops[i-1].Hop)
+		}
+		if hop.Kind == obs.KindAccept {
+			sawAccept = true
+		}
+	}
+	if !sawAccept {
+		t.Error("journey is missing its accept hop")
+	}
+
+	// group= narrows to exactly that journey.
+	code, raw = get(fmt.Sprintf("/debug/flows?group=%d", j.Group))
+	if code != 200 {
+		t.Fatalf("group filter: %d", code)
+	}
+	var filtered struct {
+		Journeys []obs.Journey `json:"journeys"`
+	}
+	if err := json.Unmarshal(raw, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Journeys) != 1 || filtered.Journeys[0].Group != j.Group {
+		t.Fatalf("group=%d filter returned %v", j.Group, filtered.Journeys)
+	}
+
+	// since= beyond the newest event: an empty window.
+	code, raw = get(fmt.Sprintf("/debug/flows?group=%d&since=%d", j.Group, body.NextSince+1000000))
+	if code != 200 {
+		t.Fatalf("since filter: %d", code)
+	}
+	if err := json.Unmarshal(raw, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Journeys) != 0 {
+		t.Fatalf("future since= cursor still returned %d journeys", len(filtered.Journeys))
+	}
+}
+
+// TestTraceHandlerChromeFormat mounts /debug/trace and checks the
+// export is a loadable Chrome trace: valid JSON, a traceEvents array
+// with per-worker thread_name metadata, and at least one residency span
+// ("X" event) for the traffic the warm-up generated.
+func TestTraceHandlerChromeFormat(t *testing.T) {
+	var s *Server
+	r := NewRouter()
+	r.Handle("/", echoPath)
+	r.Handle("/debug/trace", func(ctx *RequestCtx) { TraceHandler(s)(ctx) })
+	s = start(t, Config{Workers: 2, Handler: r.Serve})
+	conn, br := dial(t, s)
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	readResponse(t, br)
+
+	fmt.Fprintf(conn, "GET /debug/trace HTTP/1.1\r\nHost: x\r\n\r\n")
+	code, headers, raw := readResponse(t, br)
+	if code != 200 || headers["content-type"] != "application/json" {
+		t.Fatalf("/debug/trace: %d %q", code, headers["content-type"])
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace endpoint served invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", doc.DisplayTimeUnit)
+	}
+	threads := map[int]bool{}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threads[ev.TID] = true
+		case ev.Ph == "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Errorf("residency span with non-positive duration %v", ev.Dur)
+			}
+		}
+	}
+	if !threads[0] || !threads[1] {
+		t.Errorf("trace missing worker track metadata: %v", threads)
+	}
+	if spans == 0 {
+		t.Error("trace has no residency spans after a served request")
+	}
+}

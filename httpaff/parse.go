@@ -146,10 +146,12 @@ func (ctx *RequestCtx) readRequest() error {
 			}
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				// A started-but-never-finished head is the slowloris
-				// signature; count it for the worker serving the pass.
+				// signature; count it for the worker serving the pass,
+				// tagged onto the victim flow group's journey.
 				ctx.srv.admitw[ctx.worker].headerTimeouts.Add(1)
-				ctx.srv.srv.RecordEvent(ctx.worker, obs.KindHeaderTimeout,
-					int64(ctx.rlen), 0, 0)
+				port, group := connGroup(ctx.srv, ctx.conn)
+				ctx.srv.srv.RecordGroupEvent(ctx.worker, obs.KindHeaderTimeout,
+					group, port, int64(ctx.rlen), 0)
 			}
 			return err // mid-request EOF or timeout
 		}

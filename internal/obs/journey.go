@@ -1,0 +1,103 @@
+package obs
+
+import "sort"
+
+// Journey is one flow group's stitched causal timeline: every event
+// tagged with the group that is still held by the rings, ordered by the
+// group's hop counter — accept → steal → migrate → requeue-reroute →
+// park/wake → shed, whatever actually happened to the group, in the
+// order it happened. Because hops are assigned by one atomic increment
+// per group, the order is causal even though the events themselves were
+// published to different workers' rings and interleave arbitrarily in
+// the Seq timeline.
+type Journey struct {
+	// Group is the flow-group ID.
+	Group int32 `json:"group"`
+	// Owner is the worker owning the group after the journey's last
+	// known placement decision: the destination of the last migrate hop,
+	// or the accepting/serving worker of the last hop otherwise.
+	Owner int32 `json:"owner"`
+	// Migrations counts the migrate hops in this journey; Steals the
+	// steal hops. These summarize the journey for "hottest groups"
+	// ranking without the caller re-walking Hops.
+	Migrations int `json:"migrations"`
+	Steals     int `json:"steals"`
+	// Hops is the group's event sequence, sorted by ascending Hop.
+	Hops []Event `json:"hops"`
+}
+
+// Stitch folds a merged event timeline into per-group journeys: events
+// with Group >= 0 are bucketed by group and each bucket is sorted by
+// Hop. Events outside any journey (Group -1) are dropped. Journeys are
+// returned sorted by ascending group ID. Diagnostic path: allocates.
+//
+// Ring eviction means a journey can be missing its oldest hops (the
+// ring wrapped past them) — the surviving hops still sort into causal
+// order, so the tail of every journey is trustworthy. Rare placement
+// decisions (migrate, shed) live on the control ring precisely so that
+// the hops a "why is this group here" question needs survive park/wake
+// churn on the worker rings.
+func Stitch(events []Event) []Journey {
+	byGroup := make(map[int32]*Journey)
+	var order []int32
+	for _, ev := range events {
+		if ev.Group < 0 {
+			continue
+		}
+		j := byGroup[ev.Group]
+		if j == nil {
+			j = &Journey{Group: ev.Group}
+			byGroup[ev.Group] = j
+			order = append(order, ev.Group)
+		}
+		j.Hops = append(j.Hops, ev)
+	}
+	sort.Slice(order, func(i, k int) bool { return order[i] < order[k] })
+	out := make([]Journey, 0, len(order))
+	for _, g := range order {
+		j := byGroup[g]
+		sort.Slice(j.Hops, func(i, k int) bool { return j.Hops[i].Hop < j.Hops[k].Hop })
+		j.finish()
+		out = append(out, *j)
+	}
+	return out
+}
+
+// finish derives the summary fields from the sorted hops.
+func (j *Journey) finish() {
+	for _, ev := range j.Hops {
+		switch ev.Kind {
+		case KindMigrate:
+			j.Migrations++
+		case KindSteal:
+			j.Steals++
+		}
+	}
+	for i := len(j.Hops) - 1; i >= 0; i-- {
+		// The last placement decision wins: a migrate names the new
+		// owner in C; any other hop was recorded by the worker that
+		// owned (or served) the group at that moment.
+		if j.Hops[i].Kind == KindMigrate {
+			j.Owner = int32(j.Hops[i].C)
+			return
+		}
+		if j.Hops[i].Kind != KindSteal {
+			// A steal is served by the thief, not the owner — skip it
+			// when deriving ownership.
+			j.Owner = j.Hops[i].Worker
+			return
+		}
+	}
+	if len(j.Hops) > 0 {
+		j.Owner = j.Hops[len(j.Hops)-1].Worker
+	}
+}
+
+// Tail returns the journey's last n hops (the whole journey when it has
+// fewer) — the "journey tail" a dashboard shows for a hot group.
+func (j Journey) Tail(n int) []Event {
+	if n <= 0 || n >= len(j.Hops) {
+		return j.Hops
+	}
+	return j.Hops[len(j.Hops)-n:]
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStitchAdversarialInterleavings is the journey layer's property
+// test: concurrent workers record random accept/steal/migrate/park/
+// wake/reroute/shed sequences for random groups — claiming hops from a
+// shared per-group counter exactly as the serve layer does — and the
+// stitcher must recover, for every group, a single journey whose hop
+// counters are strictly increasing with no event orphaned into the
+// wrong journey and none lost. The rings are sized so nothing wraps;
+// the CI race job loops this test to shake out interleavings.
+func TestStitchAdversarialInterleavings(t *testing.T) {
+	const (
+		workers   = 4
+		groups    = 8
+		perWorker = 200
+	)
+	kinds := []Kind{KindAccept, KindSteal, KindMigrate, KindPark, KindWake, KindReroute, KindShed}
+	rings := NewRings(workers+1, 4096)
+	var hops [groups]atomic.Uint32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for i := 0; i < perWorker; i++ {
+				g := rng.Intn(groups)
+				hop := hops[g].Add(1)
+				kind := kinds[rng.Intn(len(kinds))]
+				ring := w
+				if kind == KindMigrate || kind == KindShed {
+					ring = workers // the control ring, as in serve
+				}
+				rings.RecordGroup(ring, kind, w, int64(i), int32(g), hop,
+					int64(rng.Intn(65536)), int64(rng.Intn(workers)), int64(rng.Intn(workers)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	events := rings.Events()
+	if len(events) != workers*perWorker {
+		t.Fatalf("drained %d events, want %d (rings must not wrap in this test)",
+			len(events), workers*perWorker)
+	}
+	journeys := Stitch(events)
+	if len(journeys) != groups {
+		t.Fatalf("stitched %d journeys, want %d", len(journeys), groups)
+	}
+	total := 0
+	for _, j := range journeys {
+		if j.Group < 0 || int(j.Group) >= groups {
+			t.Fatalf("journey for out-of-range group %d", j.Group)
+		}
+		claimed := hops[j.Group].Load()
+		if uint32(len(j.Hops)) != claimed {
+			t.Errorf("group %d journey has %d hops, %d were claimed", j.Group, len(j.Hops), claimed)
+		}
+		for i, hop := range j.Hops {
+			if hop.Group != j.Group {
+				t.Fatalf("group %d journey contains an orphaned hop tagged group %d", j.Group, hop.Group)
+			}
+			if hop.Hop < 1 || hop.Hop > claimed {
+				t.Errorf("group %d hop counter %d outside [1, %d]", j.Group, hop.Hop, claimed)
+			}
+			if i > 0 && hop.Hop <= j.Hops[i-1].Hop {
+				t.Errorf("group %d hop counters not strictly increasing: %d after %d",
+					j.Group, hop.Hop, j.Hops[i-1].Hop)
+			}
+		}
+		total += len(j.Hops)
+	}
+	if total != workers*perWorker {
+		t.Errorf("journeys cover %d events, want all %d", total, workers*perWorker)
+	}
+}
+
+// TestStitchOwnerDerivation pins the ownership rule on a hand-built
+// sequence: the last migrate hop's destination wins; a trailing steal
+// (served by the thief) must not change ownership; without any migrate
+// the last non-steal hop's worker owns.
+func TestStitchOwnerDerivation(t *testing.T) {
+	mk := func(k Kind, worker int32, hop uint32, a, b, c int64) Event {
+		return Event{Seq: uint64(hop), Kind: k, Worker: worker, Group: 3, Hop: hop, A: a, B: b, C: c}
+	}
+	js := Stitch([]Event{
+		mk(KindAccept, 0, 1, 4242, 0, 0),
+		mk(KindMigrate, 1, 2, 3, 0, 1), // group 3 moved 0 -> 1
+		mk(KindSteal, 2, 3, 1, 100, 4242),
+	})
+	if len(js) != 1 {
+		t.Fatalf("stitched %d journeys, want 1", len(js))
+	}
+	j := js[0]
+	if j.Owner != 1 {
+		t.Errorf("owner %d, want the migrate destination 1 (trailing steal must not flip it)", j.Owner)
+	}
+	if j.Migrations != 1 || j.Steals != 1 {
+		t.Errorf("summary migrations=%d steals=%d, want 1/1", j.Migrations, j.Steals)
+	}
+
+	js = Stitch([]Event{
+		mk(KindAccept, 2, 1, 4242, 0, 0),
+		mk(KindPark, 2, 2, 4242, 0, 0),
+	})
+	if js[0].Owner != 2 {
+		t.Errorf("migrate-free journey owner %d, want the last hop's worker 2", js[0].Owner)
+	}
+
+	// Tail returns the newest n hops.
+	tail := js[0].Tail(1)
+	if len(tail) != 1 || tail[0].Kind != KindPark {
+		t.Errorf("Tail(1) = %v, want the park hop", tail)
+	}
+}

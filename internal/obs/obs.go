@@ -52,14 +52,18 @@ const (
 	// A = remote port (the flow-group key).
 	KindAccept Kind = iota
 	// KindSteal: a worker popped a connection from another worker's
-	// queue (§3.3.1). A = victim worker, B = pop cost in nanoseconds.
+	// queue (§3.3.1). A = victim worker, B = pop cost in nanoseconds,
+	// C = remote port.
 	KindSteal
 	// KindMigrate: a flow group changed owners (§3.3.2).
 	// A = flow group, B = old owner, C = new owner.
 	KindMigrate
 	// KindReroute: a parked connection woke on one worker's event loop
 	// but its flow group had migrated, so it was pushed to the new
-	// owner's queue. A = remote port, B = the loop it parked on.
+	// owner's queue. A = remote port, B = the loop it parked on,
+	// C = 1 when the park loop and the new owner live on different
+	// chips of the configured topology (the reroute crossed the
+	// remote-cache line), else 0.
 	KindReroute
 	// KindPark: a keep-alive connection parked on a worker's event
 	// loop to wait for its next request. A = remote port.

@@ -16,11 +16,21 @@ const DefaultRingSize = 1024
 // interleave into one timeline by Seq. TS is coarse wall time (unix
 // nanoseconds from the worker's event-loop clock, ~50ms resolution).
 // A, B, C are Kind-specific operands; see the Kind constants.
+//
+// Group and Hop are the flow-journey tags: Group is the flow group the
+// event belongs to (-1 for events outside any flow journey, e.g. a
+// ratelimit refusal), and Hop is the group's monotonic hop counter at
+// record time — assigned by one atomic increment per group, so however
+// the per-worker rings interleave, sorting a group's events by Hop
+// reconstructs the causal order of decisions about that group. See
+// Stitch.
 type Event struct {
 	Seq    uint64 `json:"seq"`
 	TS     int64  `json:"ts"`
 	Kind   Kind   `json:"kind"`
 	Worker int32  `json:"worker"`
+	Group  int32  `json:"group"`
+	Hop    uint32 `json:"hop,omitempty"`
 	A      int64  `json:"a"`
 	B      int64  `json:"b,omitempty"`
 	C      int64  `json:"c,omitempty"`
@@ -37,6 +47,7 @@ type slot struct {
 	seq    atomic.Uint64
 	ts     atomic.Int64
 	kw     atomic.Uint64 // kind<<32 | uint32(worker)
+	gh     atomic.Uint64 // uint32(group)<<32 | hop — the flow-journey tag
 	a, b   atomic.Int64
 	c      atomic.Int64
 }
@@ -66,6 +77,7 @@ func (r *ring) record(ev Event) {
 	s.seq.Store(ev.Seq)
 	s.ts.Store(ev.TS)
 	s.kw.Store(uint64(ev.Kind)<<32 | uint64(uint32(ev.Worker)))
+	s.gh.Store(uint64(uint32(ev.Group))<<32 | uint64(ev.Hop))
 	s.a.Store(ev.A)
 	s.b.Store(ev.B)
 	s.c.Store(ev.C)
@@ -93,6 +105,9 @@ func (r *ring) snapshot(into []Event) []Event {
 		kw := s.kw.Load()
 		ev.Kind = Kind(kw >> 32)
 		ev.Worker = int32(uint32(kw))
+		gh := s.gh.Load()
+		ev.Group = int32(uint32(gh >> 32))
+		ev.Hop = uint32(gh)
 		if s.marker.Load() != m {
 			continue
 		}
@@ -130,10 +145,20 @@ func NewRings(n, size int) *Rings {
 	return g
 }
 
-// Record publishes one event onto ring r. Zero allocations; a handful
-// of atomic stores. Out-of-range rings are dropped silently so callers
-// don't need bounds logic on the hot path.
+// Record publishes one event onto ring r, outside any flow journey
+// (Group -1, Hop 0). Zero allocations; a handful of atomic stores.
+// Out-of-range rings are dropped silently so callers don't need bounds
+// logic on the hot path.
 func (g *Rings) Record(r int, k Kind, worker int, ts, a, b, c int64) {
+	g.RecordGroup(r, k, worker, ts, -1, 0, a, b, c)
+}
+
+// RecordGroup publishes one flow-journey event onto ring r, tagged with
+// the flow group it belongs to and the group's hop counter. The caller
+// owns hop assignment (one atomic increment per group, see the serve
+// layer) so that hops are monotonic per group across all workers' rings.
+// Zero allocations.
+func (g *Rings) RecordGroup(r int, k Kind, worker int, ts int64, group int32, hop uint32, a, b, c int64) {
 	if r < 0 || r >= len(g.rings) {
 		return
 	}
@@ -142,6 +167,8 @@ func (g *Rings) Record(r int, k Kind, worker int, ts, a, b, c int64) {
 		TS:     ts,
 		Kind:   k,
 		Worker: int32(worker),
+		Group:  group,
+		Hop:    hop,
 		A:      a,
 		B:      b,
 		C:      c,
@@ -151,9 +178,28 @@ func (g *Rings) Record(r int, k Kind, worker int, ts, a, b, c int64) {
 // Events drains every ring into one slice ordered by Seq — the merged
 // control-plane timeline. Diagnostic path: allocates.
 func (g *Rings) Events() []Event {
+	return g.EventsSince(0)
+}
+
+// EventsSince drains every ring like Events but keeps only events with
+// Seq > since — the incremental-poll cursor behind /debug/events?since=.
+// A poller that passes the largest Seq it has seen receives each event
+// exactly once (events older than the cursor are filtered; events that
+// wrapped out of a ring between polls are gone either way), so repeated
+// polls never double-deliver. Diagnostic path: allocates.
+func (g *Rings) EventsSince(since uint64) []Event {
 	var evs []Event
 	for i := range g.rings {
 		evs = g.rings[i].snapshot(evs)
+	}
+	if since > 0 {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if ev.Seq > since {
+				kept = append(kept, ev)
+			}
+		}
+		evs = kept
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
 	return evs

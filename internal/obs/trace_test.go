@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteTraceResidencySpans pins the span semantics on a
+// deterministic journey: an accept opens residency on the accepting
+// worker, a migrate closes it and opens one on the destination, so a
+// single migrated group renders exactly two spans on two tracks plus
+// the migrate instant.
+func TestWriteTraceResidencySpans(t *testing.T) {
+	base := int64(1_000_000_000)
+	ms := func(n int64) int64 { return base + n*1_000_000 }
+	events := []Event{
+		{Seq: 1, TS: ms(0), Kind: KindAccept, Worker: 0, Group: 7, Hop: 1, A: 4242},
+		{Seq: 2, TS: ms(50), Kind: KindMigrate, Worker: 1, Group: 7, Hop: 2, A: 7, B: 0, C: 1},
+		{Seq: 3, TS: ms(100), Kind: KindWake, Worker: 1, Group: 7, Hop: 3, A: 4242},
+	}
+	var buf bytes.Buffer
+	spans, err := WriteTrace(&buf, 2, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 2 {
+		t.Fatalf("wrote %d spans, want 2 (before and after the migration)", spans)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var spanTIDs []int
+	var sawMigrate bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spanTIDs = append(spanTIDs, ev.TID)
+			if ev.Name != "group 7" || ev.Cat != "residency" {
+				t.Errorf("span %q/%q, want group 7/residency", ev.Name, ev.Cat)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("span duration %v, want > 0", ev.Dur)
+			}
+		case "i":
+			if ev.Name == "migrate" {
+				sawMigrate = true
+				if ev.TID != 1 {
+					t.Errorf("migrate instant on tid %d, want the destination 1", ev.TID)
+				}
+				if hop, ok := ev.Args["hop"].(float64); !ok || hop != 2 {
+					t.Errorf("migrate instant hop arg %v, want 2", ev.Args["hop"])
+				}
+			}
+		}
+	}
+	if len(spanTIDs) != 2 || spanTIDs[0] != 0 || spanTIDs[1] != 1 {
+		t.Errorf("residency spans on tracks %v, want [0 1]", spanTIDs)
+	}
+	if !sawMigrate {
+		t.Error("no migrate instant in the trace")
+	}
+
+	// Timestamps are rebased: the first span starts at t=0 and the
+	// second at the 50ms migration, i.e. 50,000 trace microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.TID == 1 && ev.TS != 50_000 {
+			t.Errorf("post-migration span starts at %vus, want 50000", ev.TS)
+		}
+	}
+}
+
+// TestWriteTraceEmptyTimeline: an empty window still renders a valid
+// document with the worker-track metadata, zero spans.
+func TestWriteTraceEmptyTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	spans, err := WriteTrace(&buf, 3, nil)
+	if err != nil || spans != 0 {
+		t.Fatalf("spans=%d err=%v, want 0/nil", spans, err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	evs, ok := doc["traceEvents"].([]any)
+	if !ok || len(evs) != 4 { // process_name + 3 thread_names
+		t.Fatalf("empty trace has %d metadata events, want 4", len(evs))
+	}
+}

@@ -134,7 +134,8 @@ func (s *Server) shedNewestParked() bool {
 			p := c.(*parkedConn)
 			// Sheds are rare, high-value decisions: control ring, where
 			// park/wake churn can't overwrite them.
-			s.recordControl(bestWorker, obs.KindShed, remotePort(p.Conn), 0, 0)
+			port := remotePort(p.Conn)
+			s.recordControl(bestWorker, obs.KindShed, s.GroupOfPort(port), port, 0, 0)
 			s.closeParked(p)
 			return true
 		}

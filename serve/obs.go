@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"affinityaccept/internal/mem"
 	"affinityaccept/internal/obs"
 )
 
 // serverObs is the server's observability plane: per-worker event rings
-// plus one control ring, and the serve-layer latency histograms. All of
-// it is allocation-free on the hot path — histograms are atomic bucket
-// arrays, rings are preallocated slots — and merged only at scrape
-// time. nil when Config.DisableObs is set; every hook checks.
+// plus one control ring, the serve-layer latency histograms, the
+// per-flow-group hop counters behind the journey tags, and the
+// worker-pair steal/migrate matrices the NUMA attribution pass joins
+// with the machine distance model. All of it is allocation-free on the
+// hot path — histograms are atomic bucket arrays, rings are
+// preallocated slots, hop counters and pair cells are single atomic
+// adds — and merged only at snapshot time. nil when Config.DisableObs
+// is set; every hook checks.
 type serverObs struct {
 	// rings holds Workers+1 event rings sharing one sequence counter.
 	// Ring i carries worker i's high-churn events (accept, park, wake,
@@ -23,24 +29,82 @@ type serverObs struct {
 	rings   *obs.Rings
 	control int
 
+	// hops holds one monotonic hop counter per flow group. Every
+	// group-tagged event claims the group's next hop with one atomic
+	// increment, so a group's events sort into causal order however the
+	// per-worker rings interleave — the property the journey stitcher
+	// (obs.Stitch) rests on.
+	hops []atomic.Uint32
+
+	// machine is the topology the attribution pass judges distance
+	// against: workers map to cores in internal/mem's contiguous chip
+	// layout (chip = worker / CoresPerChip). On real flat hardware it is
+	// one chip; Config.Chips simulates a multi-chip machine so loopback
+	// runs can still exercise the distance-aware accounting. Latencies
+	// are Table 1's AMD row — the cycle estimates use RemoteL3 vs L3 as
+	// the cross- vs same-chip line-transfer cost.
+	machine mem.Machine
+
+	// stealPairs / migratePairs are the Workers×Workers cost matrices,
+	// flattened row-major: stealPairs[thief*W+victim] counts handler
+	// passes worker "thief" popped from worker "victim"'s queue;
+	// migratePairs[from*W+to] counts §3.3.2 group moves. Joined with
+	// machine at snapshot time they become the same-chip vs cross-chip
+	// attribution Table 1 prices.
+	stealPairs   []atomic.Uint64
+	migratePairs []atomic.Uint64
+
 	park    []*obs.Hist // per worker: ns parked between requests
 	steal   []*obs.Hist // per worker: queue-pop ns of stolen connections
 	migrate *obs.Hist   // ns per balance tick (BalanceTable call)
 }
 
-func newServerObs(workers, ringSize, subBits int) *serverObs {
+func newServerObs(workers, groups, ringSize, subBits, chips int) *serverObs {
 	o := &serverObs{
-		rings:   obs.NewRings(workers+1, ringSize),
-		control: workers,
-		park:    make([]*obs.Hist, workers),
-		steal:   make([]*obs.Hist, workers),
-		migrate: obs.NewHist(subBits),
+		rings:        obs.NewRings(workers+1, ringSize),
+		control:      workers,
+		hops:         make([]atomic.Uint32, groups),
+		machine:      topology(workers, chips),
+		stealPairs:   make([]atomic.Uint64, workers*workers),
+		migratePairs: make([]atomic.Uint64, workers*workers),
+		park:         make([]*obs.Hist, workers),
+		steal:        make([]*obs.Hist, workers),
+		migrate:      obs.NewHist(subBits),
 	}
 	for i := range o.park {
 		o.park[i] = obs.NewHist(subBits)
 		o.steal[i] = obs.NewHist(subBits)
 	}
 	return o
+}
+
+// topology builds the distance model workers are attributed against:
+// chips <= 1 is a flat single-chip machine (every steal same-chip);
+// otherwise workers split contiguously into chips exactly like
+// internal/mem's Machine.Chip. Latencies are the paper's Table 1 AMD
+// row, the machine whose remote-vs-local gap motivates §3.3's policies.
+func topology(workers, chips int) mem.Machine {
+	if chips <= 1 {
+		chips = 1
+	}
+	perChip := (workers + chips - 1) / chips
+	if perChip < 1 {
+		perChip = 1
+	}
+	m := mem.AMD48()
+	m.Name = "serve"
+	m.Chips = chips
+	m.CoresPerChip = perChip
+	return m
+}
+
+// nextHop claims flow group g's next hop counter (1-based), 0 for
+// out-of-journey events. One atomic add; zero allocations.
+func (o *serverObs) nextHop(g int) uint32 {
+	if g < 0 || g >= len(o.hops) {
+		return 0
+	}
+	return o.hops[g].Add(1)
 }
 
 // coarseUnix is the event-timestamp source: worker w's coarse clock as
@@ -53,8 +117,8 @@ func (s *Server) coarseUnix(w int) int64 {
 }
 
 // RecordEvent publishes one control-plane event onto worker w's event
-// ring. Application layers stacked above serve (httpaff's header-timeout
-// shed) use it to land their events in the same merged timeline as the
+// ring, outside any flow journey. Application layers stacked above
+// serve use it to land their events in the same merged timeline as the
 // server's own. No-op when observability is disabled; zero allocations.
 func (s *Server) RecordEvent(w int, k obs.Kind, a, b, c int64) {
 	if s.obs == nil {
@@ -67,13 +131,140 @@ func (s *Server) RecordEvent(w int, k obs.Kind, a, b, c int64) {
 	s.obs.rings.Record(r, k, w, s.coarseUnix(r), a, b, c)
 }
 
-// recordControl publishes a rare control-plane event (migrate, shed)
-// onto the control ring, where worker-ring churn cannot overwrite it.
-func (s *Server) recordControl(w int, k obs.Kind, a, b, c int64) {
+// RecordGroupEvent publishes one flow-journey event onto worker w's
+// event ring, tagged with flow group g and the group's next hop
+// counter. Layers above serve (httpaff's shed and header-timeout paths)
+// use it so their decisions stitch into the same per-group journeys as
+// the server's accept/steal/migrate hops. Pass a negative group for an
+// event outside any journey. Zero allocations.
+func (s *Server) RecordGroupEvent(w int, k obs.Kind, g int, a, b, c int64) {
 	if s.obs == nil {
 		return
 	}
-	s.obs.rings.Record(s.obs.control, k, w, s.coarseUnix(w), a, b, c)
+	r := w
+	if r < 0 || r >= s.cfg.Workers {
+		r = 0
+	}
+	s.recordGroup(r, k, w, g, a, b, c)
+}
+
+// recordGroup claims group g's next hop and publishes the tagged event
+// onto ring r (which may be the control ring). The hop counter is
+// claimed even when the ring later drops the event on a writer
+// collision — hop sequences may have gaps, never reorderings.
+func (s *Server) recordGroup(r int, k obs.Kind, w, g int, a, b, c int64) {
+	hop := uint32(0)
+	group := int32(-1)
+	if g >= 0 && g < len(s.obs.hops) {
+		hop = s.obs.nextHop(g)
+		group = int32(g)
+	}
+	s.obs.rings.RecordGroup(r, k, w, s.coarseUnix(w), group, hop, a, b, c)
+}
+
+// recordControl publishes a rare control-plane event (migrate, shed)
+// onto the control ring, where worker-ring churn cannot overwrite it,
+// tagged with flow group g (negative for none).
+func (s *Server) recordControl(w int, k obs.Kind, g int, a, b, c int64) {
+	if s.obs == nil {
+		return
+	}
+	s.recordGroup(s.obs.control, k, w, g, a, b, c)
+}
+
+// countSteal attributes one stolen connection to the (thief, victim)
+// worker pair. One atomic add; zero allocations.
+func (o *serverObs) countSteal(thief, victim, workers int) {
+	if thief >= 0 && thief < workers && victim >= 0 && victim < workers {
+		o.stealPairs[thief*workers+victim].Add(1)
+	}
+}
+
+// countMigrate attributes one flow-group migration to the (from, to)
+// worker pair.
+func (o *serverObs) countMigrate(from, to, workers int) {
+	if from >= 0 && from < workers && to >= 0 && to < workers {
+		o.migratePairs[from*workers+to].Add(1)
+	}
+}
+
+// crossChip reports whether workers a and b live on different chips of
+// the configured topology — the distance line the attribution pass
+// prices hops against.
+func (s *Server) crossChip(a, b int) bool {
+	if s.obs == nil {
+		return false
+	}
+	return !s.obs.machine.SameChip(a, b)
+}
+
+// WorkerChip reports which chip of the configured topology worker w
+// maps to (always 0 on a flat machine).
+func (s *Server) WorkerChip(w int) int {
+	if s.obs == nil {
+		return 0
+	}
+	return s.obs.machine.Chip(w)
+}
+
+// CostMatrix is the snapshot of one worker-pair attribution matrix
+// joined with the machine distance model: Counts[a][b] is the number of
+// hops from worker a to worker b (thief→victim for steals, from→to for
+// migrations), split into same-chip and cross-chip totals, with an
+// estimated cycle cost priced at the paper's Table 1 line-transfer
+// latencies (L3 for same-chip, RemoteL3 for cross-chip).
+type CostMatrix struct {
+	Counts    [][]uint64 `json:"counts"`
+	SameChip  uint64     `json:"sameChip"`
+	CrossChip uint64     `json:"crossChip"`
+	EstCycles uint64     `json:"estCycles"`
+}
+
+func (o *serverObs) matrix(cells []atomic.Uint64, workers int) CostMatrix {
+	m := CostMatrix{Counts: make([][]uint64, workers)}
+	for a := 0; a < workers; a++ {
+		m.Counts[a] = make([]uint64, workers)
+		for b := 0; b < workers; b++ {
+			n := cells[a*workers+b].Load()
+			m.Counts[a][b] = n
+			if o.machine.SameChip(a, b) {
+				m.SameChip += n
+				m.EstCycles += n * uint64(o.machine.Lat.L3)
+			} else {
+				m.CrossChip += n
+				m.EstCycles += n * uint64(o.machine.Lat.RemoteL3)
+			}
+		}
+	}
+	return m
+}
+
+// StealMatrix returns the thief×victim steal attribution matrix.
+// Diagnostic path: allocates. Zero-valued when observability is off.
+func (s *Server) StealMatrix() CostMatrix {
+	if s.obs == nil {
+		return CostMatrix{}
+	}
+	return s.obs.matrix(s.obs.stealPairs, s.cfg.Workers)
+}
+
+// MigrateMatrix returns the from×to migration attribution matrix.
+// Diagnostic path: allocates. Zero-valued when observability is off.
+func (s *Server) MigrateMatrix() CostMatrix {
+	if s.obs == nil {
+		return CostMatrix{}
+	}
+	return s.obs.matrix(s.obs.migratePairs, s.cfg.Workers)
+}
+
+// GroupOfPort reports which flow group a remote TCP port hashes into —
+// the join key layers above serve need to tag their own events onto the
+// right journey. -1 for invalid ports or when observability is off.
+func (s *Server) GroupOfPort(port int64) int {
+	if s.obs == nil || port < 0 || port > 65535 {
+		return -1
+	}
+	return s.flow.GroupOf(uint16(port))
 }
 
 // Events drains every event ring into one timeline ordered by sequence
@@ -84,6 +275,26 @@ func (s *Server) Events() []obs.Event {
 		return nil
 	}
 	return s.obs.rings.Events()
+}
+
+// EventsSince drains the merged timeline keeping only events with
+// Seq > since — the incremental-poll cursor behind /debug/events?since=.
+// Diagnostic path: allocates. Empty when observability is disabled.
+func (s *Server) EventsSince(since uint64) []obs.Event {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.rings.EventsSince(since)
+}
+
+// Journeys stitches the merged timeline into per-flow-group causal
+// journeys (see obs.Stitch), keeping only events with Seq > since.
+// Diagnostic path: allocates. Empty when observability is disabled.
+func (s *Server) Journeys(since uint64) []obs.Journey {
+	if s.obs == nil {
+		return nil
+	}
+	return obs.Stitch(s.obs.rings.EventsSince(since))
 }
 
 // EventsRecorded reports how many events have been published since
@@ -183,6 +394,23 @@ func (s *Server) WriteObsMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP affinity_clock_lag_seconds How far each worker's coarse clock trails the wall clock.\n# TYPE affinity_clock_lag_seconds gauge\n")
 	for i := range s.loops {
 		fmt.Fprintf(w, "affinity_clock_lag_seconds{worker=\"%d\"} %g\n", i, s.ClockLag(i).Seconds())
+	}
+
+	// NUMA attribution: the pair matrices collapsed along the machine
+	// distance model. Same-chip vs cross-chip totals carry a "dist"
+	// label so one query prices the remote traffic; the estimated cycle
+	// series applies Table 1's L3 / RemoteL3 line-transfer latencies.
+	sm, mm := s.StealMatrix(), s.MigrateMatrix()
+	fmt.Fprintf(w, "# HELP affinity_cross_chip_steals_total Stolen connections by thief/victim chip distance (Table 1 pricing).\n# TYPE affinity_cross_chip_steals_total counter\n")
+	fmt.Fprintf(w, "affinity_cross_chip_steals_total{dist=\"same\"} %d\n", sm.SameChip)
+	fmt.Fprintf(w, "affinity_cross_chip_steals_total{dist=\"cross\"} %d\n", sm.CrossChip)
+	fmt.Fprintf(w, "# HELP affinity_cross_chip_migrations_total Flow-group migrations by from/to chip distance.\n# TYPE affinity_cross_chip_migrations_total counter\n")
+	fmt.Fprintf(w, "affinity_cross_chip_migrations_total{dist=\"same\"} %d\n", mm.SameChip)
+	fmt.Fprintf(w, "affinity_cross_chip_migrations_total{dist=\"cross\"} %d\n", mm.CrossChip)
+	fmt.Fprintf(w, "# HELP affinity_steal_est_cycles_total Estimated line-transfer cycles spent on steals (L3 same-chip, RemoteL3 cross-chip).\n# TYPE affinity_steal_est_cycles_total counter\naffinity_steal_est_cycles_total %d\n", sm.EstCycles)
+	fmt.Fprintf(w, "# HELP affinity_worker_chip Which chip of the configured topology each worker maps to.\n# TYPE affinity_worker_chip gauge\n")
+	for i := 0; i < s.cfg.Workers; i++ {
+		fmt.Fprintf(w, "affinity_worker_chip{worker=\"%d\"} %d\n", i, s.obs.machine.Chip(i))
 	}
 }
 

@@ -223,3 +223,154 @@ func TestWriteObsMetricsSeries(t *testing.T) {
 		}
 	}
 }
+
+// TestObsJourneyTaggingAndAttribution drives the deterministic
+// steal-then-migrate sequence on a simulated two-chip topology and
+// checks the whole flow-journey layer end to end: the migrate event
+// carries its group tag and a claimed hop, the stitched journey reports
+// the migration and the new owner, and the attribution matrices price
+// the move as cross-chip.
+func TestObsJourneyTaggingAndAttribution(t *testing.T) {
+	s, err := New(Config{
+		Workers:          2,
+		Chips:            2, // worker 0 on chip 0, worker 1 on chip 1
+		FlowGroups:       8,
+		DisableMigration: true, // ticks are manual
+		Backlog:          40,
+		HighPct:          20,
+		LowPct:           5,
+		Handler:          echoHandler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	for i := 0; i < 6; i++ {
+		s.bal.Push(0, nil)
+	}
+	if _, from, ok := s.bal.Pop(1); !ok || from != 0 {
+		t.Fatalf("worker 1 pop = (from %d, ok %v), want steal from 0", from, ok)
+	}
+	for i := 0; i < 1000 && s.bal.Busy(1); i++ {
+		s.bal.ObserveIdle(1, 10)
+	}
+	if n := s.balanceOnce(); n != 1 {
+		t.Fatalf("balance applied %d migrations, want 1", n)
+	}
+
+	var mig obs.Event
+	found := false
+	for _, ev := range s.Events() {
+		if ev.Kind == obs.KindMigrate {
+			mig, found = ev, true
+		}
+	}
+	if !found {
+		t.Fatal("no migrate event recorded")
+	}
+	if int64(mig.Group) != mig.A {
+		t.Errorf("migrate event group tag %d != A operand %d", mig.Group, mig.A)
+	}
+	if mig.Hop < 1 {
+		t.Errorf("migrate event hop %d, want >= 1 (a claimed counter)", mig.Hop)
+	}
+
+	journeys := s.Journeys(0)
+	var j *obs.Journey
+	for i := range journeys {
+		if journeys[i].Group == mig.Group {
+			j = &journeys[i]
+		}
+	}
+	if j == nil {
+		t.Fatalf("no journey stitched for migrated group %d (journeys: %v)", mig.Group, journeys)
+	}
+	if j.Migrations != 1 {
+		t.Errorf("journey migrations = %d, want 1", j.Migrations)
+	}
+	if j.Owner != 1 {
+		t.Errorf("journey owner = %d, want the claimer 1", j.Owner)
+	}
+
+	// Attribution: the 0 -> 1 move crosses the two-chip boundary.
+	mm := s.MigrateMatrix()
+	if mm.Counts[0][1] != 1 {
+		t.Errorf("migrate matrix [0][1] = %d, want 1", mm.Counts[0][1])
+	}
+	if mm.CrossChip != 1 || mm.SameChip != 0 {
+		t.Errorf("migrate matrix cross=%d same=%d, want cross=1 same=0", mm.CrossChip, mm.SameChip)
+	}
+	s.obs.countSteal(1, 0, 2) // worker 1 stole from worker 0: cross-chip
+	sm := s.StealMatrix()
+	if sm.CrossChip != 1 {
+		t.Errorf("steal matrix cross = %d, want 1", sm.CrossChip)
+	}
+	if sm.EstCycles != uint64(s.obs.machine.Lat.RemoteL3) {
+		t.Errorf("steal est cycles = %d, want RemoteL3 %d", sm.EstCycles, s.obs.machine.Lat.RemoteL3)
+	}
+
+	st := s.Stats()
+	if st.Chips != 2 || st.CrossChipMigrations != 1 || st.CrossChipSteals != 1 {
+		t.Errorf("stats chips=%d xmigr=%d xsteal=%d, want 2/1/1", st.Chips, st.CrossChipMigrations, st.CrossChipSteals)
+	}
+	if st.Workers[1].StolenCross != 1 || st.Workers[1].Chip != 1 {
+		t.Errorf("worker 1 stolenCross=%d chip=%d, want 1/1", st.Workers[1].StolenCross, st.Workers[1].Chip)
+	}
+
+	var b strings.Builder
+	s.WriteObsMetrics(&b)
+	out := b.String()
+	for _, series := range []string{
+		`affinity_cross_chip_steals_total{dist="cross"} 1`,
+		`affinity_cross_chip_migrations_total{dist="cross"} 1`,
+		"affinity_steal_est_cycles_total ",
+		`affinity_worker_chip{worker="1"} 1`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("metrics output missing %q", series)
+		}
+	}
+}
+
+// TestObsEventsSinceCursor pins the /debug/events incremental-poll
+// contract at the server level: polling with the largest previously
+// seen Seq delivers each event exactly once — no duplicates, no skips —
+// across an ongoing stream of recorded events.
+func TestObsEventsSinceCursor(t *testing.T) {
+	s, err := New(Config{Workers: 2, Handler: echoHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	seen := make(map[uint64]int)
+	var cursor uint64
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 7; i++ {
+			s.RecordEvent(i%2, obs.KindAccept, int64(round*7+i), 0, 0)
+		}
+		for _, ev := range s.EventsSince(cursor) {
+			seen[ev.Seq]++
+			if ev.Seq > cursor {
+				cursor = ev.Seq
+			}
+		}
+	}
+	if len(seen) != 70 {
+		t.Fatalf("cursor polls saw %d distinct events, want all 70", len(seen))
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("event seq %d delivered %d times, want exactly once", seq, n)
+		}
+	}
+}

@@ -147,7 +147,8 @@ func (s *Server) Requeue(conn net.Conn) bool {
 		return false // shutting down: nothing registered, p is plain garbage when fresh
 	}
 	s.requeued.Add(1)
-	s.RecordEvent(w, obs.KindPark, remotePort(p.Conn), 0, 0)
+	port := remotePort(p.Conn)
+	s.RecordGroupEvent(w, obs.KindPark, s.GroupOfPort(port), port, 0, 0)
 	return true
 }
 
@@ -190,19 +191,27 @@ func parkDeadline(c net.Conn) time.Time {
 // onto that worker's queue.
 func (s *Server) parkWake(c net.Conn) {
 	p := c.(*parkedConn)
-	worker := s.route(p)
+	group, worker := s.route(p)
 	if s.obs != nil {
 		if at := p.armedAt; at != 0 {
 			p.armedAt = 0
 			d := obs.Nanos() - at
 			s.obs.park[worker].Record(d)
-			s.RecordEvent(worker, obs.KindWake, remotePort(p.Conn), d, 0)
+			port := remotePort(p.Conn)
+			s.RecordGroupEvent(worker, obs.KindWake, group, port, d, 0)
 			if p.loop >= 0 && int(p.loop) != worker {
 				// The flow group migrated while the connection was
 				// parked: it woke on its park loop but routes to the
 				// group's new owner — the moment §3.3.2 pays off for a
-				// requeued connection.
-				s.RecordEvent(worker, obs.KindReroute, remotePort(p.Conn), int64(p.loop), 0)
+				// requeued connection. C carries the distance verdict:
+				// 1 when the park loop and the new owner live on
+				// different chips of the configured topology, i.e. the
+				// reroute crossed the Table 1 RemoteL3 line.
+				var cross int64
+				if s.crossChip(int(p.loop), worker) {
+					cross = 1
+				}
+				s.RecordGroupEvent(worker, obs.KindReroute, group, port, int64(p.loop), cross)
 			}
 		}
 	}
@@ -218,7 +227,8 @@ func (s *Server) parkWake(c net.Conn) {
 func (s *Server) parkDead(c net.Conn) {
 	p := c.(*parkedConn)
 	if w := int(p.loop); w >= 0 {
-		s.RecordEvent(w, obs.KindParkDead, remotePort(p.Conn), 0, 0)
+		port := remotePort(p.Conn)
+		s.RecordGroupEvent(w, obs.KindParkDead, s.GroupOfPort(port), port, 0, 0)
 	}
 	s.closeParked(p)
 }

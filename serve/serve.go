@@ -158,6 +158,15 @@ type Config struct {
 	// rings, no serve-layer histograms, and the hot paths skip even the
 	// clock reads that feed them.
 	DisableObs bool
+	// Chips is the chip count of the topology the NUMA attribution pass
+	// prices steals and migrations against: workers split contiguously
+	// into Chips chips (worker w lives on chip w/(Workers/Chips), like
+	// internal/mem's Machine.Chip), and a hop whose two workers land on
+	// different chips is counted cross-chip at the paper's Table 1
+	// RemoteL3 latency instead of L3. 0 or 1 means a flat single-chip
+	// machine — every hop same-chip. Purely an accounting model: it does
+	// not pin threads or change any placement policy.
+	Chips int
 }
 
 func (c *Config) fill() error {
@@ -202,6 +211,12 @@ func (c *Config) fill() error {
 	}
 	if c.EventRingSize < 0 || c.HistSubBits < 0 {
 		return errors.New("serve: EventRingSize and HistSubBits must be non-negative")
+	}
+	if c.Chips < 0 {
+		return errors.New("serve: Chips must be non-negative")
+	}
+	if c.Chips > c.Workers {
+		c.Chips = c.Workers
 	}
 	if c.PerIPAcceptRate > 0 && c.PerIPAcceptBurst == 0 {
 		c.PerIPAcceptBurst = 8
@@ -293,7 +308,7 @@ func New(cfg Config) (*Server, error) {
 		workers: make([]workerState, cfg.Workers),
 	}
 	if !cfg.DisableObs {
-		s.obs = newServerObs(cfg.Workers, cfg.EventRingSize, cfg.HistSubBits)
+		s.obs = newServerObs(cfg.Workers, s.flow.Groups(), cfg.EventRingSize, cfg.HistSubBits, cfg.Chips)
 	}
 	s.loops = make([]*evloop.Loop, cfg.Workers)
 	for i := range s.loops {
@@ -422,18 +437,18 @@ func (s *Server) Start() {
 }
 
 // route maps a connection to the worker owning its flow group, charging
-// one unit of load to the group. The flow table — not the accepting
+// one unit of load to the group, and reports both so the accept event
+// can carry its journey tag. The flow table — not the accepting
 // listener — is the routing authority, exactly as the paper's NIC FDir
 // table decides which core receives a flow's packets; under
 // SO_REUSEPORT the kernel's four-tuple hash merely picks which acceptor
 // goroutine performs the push. Non-TCP remote addresses (unix sockets)
-// have no port to hash and fall back to round-robin.
-func (s *Server) route(conn net.Conn) int {
+// have no port to hash and fall back to round-robin with group -1.
+func (s *Server) route(conn net.Conn) (group, worker int) {
 	if addr, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
-		_, worker := s.flow.Route(uint16(addr.Port), 1)
-		return worker
+		return s.flow.Route(uint16(addr.Port), 1)
 	}
-	return int(s.rr.Add(1)-1) % s.cfg.Workers
+	return -1, int(s.rr.Add(1)-1) % s.cfg.Workers
 }
 
 // wakeWorkers nudges one sleeping worker after a push.
@@ -493,9 +508,9 @@ func (s *Server) acceptLoop(idx int, l net.Listener) {
 				continue
 			}
 		}
-		worker := s.route(conn)
+		group, worker := s.route(conn)
 		s.workers[worker].accepted.Add(1)
-		s.RecordEvent(worker, obs.KindAccept, remotePort(conn), 0, 0)
+		s.RecordGroupEvent(worker, obs.KindAccept, group, remotePort(conn), 0, 0)
 		if !s.bal.Push(worker, conn) {
 			conn.Close() // queue overflow: shed load (§3.3 drop)
 			continue
@@ -535,7 +550,10 @@ func (s *Server) balanceOnce() int {
 	moves := s.bal.BalanceTable(s.flow, nil)
 	for _, m := range moves {
 		s.workers[m.To].migratedIn.Add(1)
-		s.recordControl(m.To, obs.KindMigrate, int64(m.Group), int64(m.From), int64(m.To))
+		if s.obs != nil {
+			s.obs.countMigrate(m.From, m.To, s.cfg.Workers)
+		}
+		s.recordControl(m.To, obs.KindMigrate, m.Group, int64(m.Group), int64(m.From), int64(m.To))
 	}
 	if s.obs != nil {
 		s.obs.migrate.Record(obs.Nanos() - t0)
@@ -583,7 +601,10 @@ func (s *Server) workerLoop(worker int) {
 					// walk the paper's policy pays for load balance.
 					d := obs.Nanos() - t0
 					s.obs.steal[worker].Record(d)
-					s.RecordEvent(worker, obs.KindSteal, int64(from), d, 0)
+					s.obs.countSteal(worker, from, s.cfg.Workers)
+					port := remotePort(conn)
+					g := s.GroupOfPort(port)
+					s.RecordGroupEvent(worker, obs.KindSteal, g, int64(from), d, port)
 				}
 			}
 			st.active.Add(1)
@@ -703,6 +724,13 @@ func (s *Server) Stats() Stats {
 		LivePeak:       s.livePeak.Load(),
 		MaxConns:       s.cfg.MaxConns,
 	}
+	var stealM CostMatrix
+	if s.obs != nil {
+		st.Chips = s.obs.machine.Chips
+		stealM = s.StealMatrix()
+		st.CrossChipSteals = stealM.CrossChip
+		st.CrossChipMigrations = s.MigrateMatrix().CrossChip
+	}
 	for i := range st.Workers {
 		w := &s.workers[i]
 		st.Workers[i] = WorkerStats{
@@ -717,6 +745,15 @@ func (s *Server) Stats() Stats {
 			MigratedIn:   w.migratedIn.Load(),
 			Parked:       s.loops[i].Len(),
 			ClockLagUs:   s.ClockLag(i).Microseconds(),
+		}
+		if s.obs != nil {
+			ws := &st.Workers[i]
+			ws.Chip = s.obs.machine.Chip(i)
+			for v := 0; v < s.cfg.Workers; v++ {
+				if !s.obs.machine.SameChip(i, v) {
+					ws.StolenCross += stealM.Counts[i][v]
+				}
+			}
 		}
 		if s.cfg.WorkerPool != nil {
 			st.Workers[i].Pool = s.cfg.WorkerPool(i)

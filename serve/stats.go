@@ -25,6 +25,13 @@ type WorkerStats struct {
 	// queue; ServedStolen counts ones it stole from other workers.
 	ServedLocal  uint64
 	ServedStolen uint64
+	// Chip is which chip of the configured topology (Config.Chips) this
+	// worker maps to — 0 on a flat machine.
+	Chip int
+	// StolenCross counts the subset of ServedStolen whose victim lived
+	// on a different chip — the steals the attribution pass prices at
+	// Table 1's RemoteL3 latency instead of L3.
+	StolenCross uint64
 	// Active is the number of handlers currently running.
 	Active int64
 	// QueueDepth is the instantaneous local queue length; Busy is the
@@ -72,6 +79,14 @@ type Stats struct {
 	// applied §3.3.2 flow-group migrations.
 	Requeued   uint64
 	Migrations uint64
+	// Chips is the configured topology's chip count (1 = flat).
+	// CrossChipSteals and CrossChipMigrations count the hops whose two
+	// workers lived on different chips — the traffic the paper's
+	// policies exist to minimize, priced at Table 1's RemoteL3 latency
+	// by the /metrics attribution series.
+	Chips               int
+	CrossChipSteals     uint64
+	CrossChipMigrations uint64
 	// Parked is the instantaneous number of connections waiting between
 	// requeue passes — the held-open population of a long-lived
 	// workload. Parked connections live on the per-worker event loops
@@ -145,6 +160,10 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "admission: ratelimited %d  shed-parked %d  budget-rejected %d  accept-retries %d  live %d (peak %d / budget %d)\n",
 			s.Ratelimited, s.ShedParked, s.BudgetRejected, s.AcceptRetries, s.Live, s.LivePeak, s.MaxConns)
 	}
+	if s.Chips > 1 {
+		fmt.Fprintf(&b, "numa: %d chips  cross-chip steals %d  cross-chip migrations %d\n",
+			s.Chips, s.CrossChipSteals, s.CrossChipMigrations)
+	}
 	pools := s.Pool.Gets() > 0
 	if pools {
 		fmt.Fprintf(&b, "pools: %d gets, %.1f%% reused from the worker-local free list (%d misses, %d drops)\n",
@@ -161,13 +180,13 @@ func (s Stats) String() string {
 	// drift however wide the numbers get. TestStatsStringGolden pins
 	// the alignment.
 	const (
-		statsHeaderFmt = "%-6s %11s %11s %11s %7s %7s %8s %7s %8s %8s %5s"
-		statsRowFmt    = "%-6d %11d %11d %11d %7d %7d %8d %7d %8d %8d %5s"
+		statsHeaderFmt = "%-6s %4s %11s %11s %11s %8s %7s %7s %8s %7s %8s %8s %5s"
+		statsRowFmt    = "%-6d %4d %11d %11d %11d %8d %7d %7d %8d %7d %8d %8d %5s"
 		poolHeaderFmt  = " %10s %7s"
 		poolRowFmt     = " %10d %7.1f"
 	)
 	fmt.Fprintf(&b, statsHeaderFmt,
-		"worker", "accepted", "local", "stolen", "active", "qdepth", "parked", "groups", "migr-in", "lag-us", "busy")
+		"worker", "chip", "accepted", "local", "stolen", "x-steal", "active", "qdepth", "parked", "groups", "migr-in", "lag-us", "busy")
 	if pools {
 		fmt.Fprintf(&b, poolHeaderFmt, "pool-get", "reuse%")
 	}
@@ -181,7 +200,7 @@ func (s Stats) String() string {
 			busy = "*"
 		}
 		fmt.Fprintf(&b, statsRowFmt,
-			w.Worker, w.Accepted, w.ServedLocal, w.ServedStolen, w.Active, w.QueueDepth,
+			w.Worker, w.Chip, w.Accepted, w.ServedLocal, w.ServedStolen, w.StolenCross, w.Active, w.QueueDepth,
 			w.Parked, w.GroupsOwned, w.MigratedIn, w.ClockLagUs, busy)
 		if pools {
 			fmt.Fprintf(&b, poolRowFmt, w.Pool.Gets(), w.Pool.ReusePct())
