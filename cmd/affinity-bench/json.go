@@ -33,6 +33,7 @@ type benchReport struct {
 	MigrationOn  bool    `json:"migrationOn"`
 	LocalityPct  float64 `json:"localityPct"`
 	StealPct     float64 `json:"stealPct"`
+	ServedStolen uint64  `json:"servedStolen,omitempty"`
 	Migrations   uint64  `json:"migrations"`
 	Requeued     uint64  `json:"requeued"`
 	Dropped      uint64  `json:"dropped"`
@@ -70,6 +71,22 @@ type benchReport struct {
 	CrossChipMigrations uint64 `json:"crossChipMigrations,omitempty"`
 	TraceFile           string `json:"traceFile,omitempty"`
 	TraceSpans          int    `json:"traceSpans,omitempty"`
+
+	// Topology-aware scheduling fields. DistanceBlind marks a run that
+	// forced the flat wraparound steal scan despite -chips > 1 (the A/B
+	// baseline); StealEstCycles is the cost model's total for every
+	// steal's cache-line pulls priced local vs cross-chip. The adaptive
+	// fields record the controller's state at window end; the pinning
+	// pair accounts for every worker (pinned + failed = workers when
+	// -pin is set).
+	DistanceBlind      bool    `json:"distanceBlind,omitempty"`
+	StealEstCycles     uint64  `json:"stealEstCycles,omitempty"`
+	AdaptiveIntervalMs float64 `json:"adaptiveIntervalMs,omitempty"`
+	FrozenGroups       int64   `json:"frozenGroups,omitempty"`
+	GroupFreezes       uint64  `json:"groupFreezes,omitempty"`
+	GroupUnfreezes     uint64  `json:"groupUnfreezes,omitempty"`
+	PinnedWorkers      int     `json:"pinnedWorkers,omitempty"`
+	PinFailures        uint64  `json:"pinFailures,omitempty"`
 
 	// proxyaff upstream connection-pool counters (proxy scenarios only).
 	Backends         int     `json:"backends,omitempty"`

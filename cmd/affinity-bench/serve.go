@@ -32,6 +32,7 @@ type serveOpts struct {
 	noShard  bool    // force the single-shared-listener fallback
 
 	longlived    int           // long-lived skewed connections (0 = short-lived mode)
+	hotWorkers   int           // workers whose groups receive the skew (<=1 = worker 0 only)
 	work         time.Duration // per-request handler service time in longlived mode
 	migrate      bool          // run the §3.3.2 migration loop
 	migrateEvery time.Duration // migration tick (0 = paper default)
@@ -39,6 +40,9 @@ type serveOpts struct {
 	jsonPath     string        // append metrics to this JSON array file
 	tracePath    string        // save a Chrome trace-event file here
 	chips        int           // simulated chip count for NUMA attribution
+	distAware    bool          // order steal victims same-chip-first (chips > 1)
+	adaptive     bool          // adaptive migration interval + ping-pong freezing
+	pin          bool          // sched_setaffinity each worker thread to a CPU
 }
 
 // scenario names the run for reports and the JSON trajectory file.
@@ -90,6 +94,10 @@ func runServeBench(o serveOpts) error {
 			MigrateInterval:  o.migrateEvery,
 			DisableMigration: !o.migrate,
 			Chips:            o.chips,
+
+			DisableDistanceAware: !o.distAware,
+			AdaptiveMigration:    o.adaptive,
+			PinWorkers:           o.pin,
 		}
 		switch {
 		case o.longlived > 0:
@@ -129,6 +137,13 @@ func runServeBench(o serveOpts) error {
 		}
 		fmt.Printf("serving on %s: %d workers, %s, %d flow groups, migration %s\n",
 			target, o.workers, mode, srv.FlowGroups(), migr)
+		if o.chips > 1 {
+			order := "distance-aware (same-chip victims first)"
+			if !o.distAware {
+				order = "distance-blind (wraparound scan)"
+			}
+			fmt.Printf("numa: %d chips, %s steal order\n", o.chips, order)
+		}
 	} else {
 		fmt.Printf("driving external server at %s\n", target)
 	}
@@ -144,8 +159,12 @@ func runServeBench(o serveOpts) error {
 
 	fmt.Println()
 	if o.longlived > 0 {
-		fmt.Printf("SERVE — skewed keep-alive load over loopback (%d long-lived conns on worker 0's groups, %dB payload, %v work/req)\n",
-			o.longlived, o.payload, o.work)
+		hotDesc := "worker 0's groups"
+		if o.hotWorkers > 1 {
+			hotDesc = fmt.Sprintf("%d hot workers' groups", o.hotWorkers)
+		}
+		fmt.Printf("SERVE — skewed keep-alive load over loopback (%d long-lived conns on %s, %dB payload, %v work/req)\n",
+			o.longlived, hotDesc, o.payload, o.work)
 	} else {
 		fmt.Printf("SERVE — closed-loop echo load over loopback (%d clients, %d reqs/conn, %dB payload)\n",
 			o.clients, o.reqs, o.payload)
@@ -253,12 +272,25 @@ func runServeBench(o serveOpts) error {
 		rep.Sharded = st.Sharded
 		rep.LocalityPct = st.LocalityPct()
 		rep.StealPct = st.StealPct()
+		rep.ServedStolen = st.ServedStolen
 		rep.Migrations = st.Migrations
 		rep.Requeued = st.Requeued
 		rep.Dropped = st.Dropped
 		rep.Chips = o.chips
 		rep.CrossChipSteals = st.CrossChipSteals
 		rep.CrossChipMigrations = st.CrossChipMigrations
+		rep.StealEstCycles = st.StealEstCycles
+		if o.chips > 1 && !o.distAware {
+			rep.DistanceBlind = true
+		}
+		if o.adaptive {
+			rep.AdaptiveIntervalMs = float64(st.AdaptiveInterval) / float64(time.Millisecond)
+			rep.FrozenGroups = st.FrozenGroups
+			rep.GroupFreezes = st.GroupFreezes
+			rep.GroupUnfreezes = st.GroupUnfreezes
+		}
+		rep.PinnedWorkers = st.PinnedWorkers
+		rep.PinFailures = st.PinFailures
 		if o.tracePath != "" {
 			spans, err := saveTrace(o.tracePath, o.workers, srv.Events())
 			if err != nil {
@@ -377,9 +409,27 @@ func driveLongLived(target string, srv *affinityaccept.Server, o serveOpts) (lat
 		fmt.Printf("note: external target — the skew assumes the server runs %d workers and %d flow groups with no prior migrations; pass matching -workers/-groups or the workload is not skewed\n",
 			o.workers, groups)
 	}
+	// The skew targets worker 0's groups by default. With -hot-workers N
+	// the heat lands on N workers spread one per chip first (worker 0,
+	// then the first worker of the next chip, …), so a distance-aware
+	// A/B gives every thief both a same-chip and a cross-chip hot victim
+	// to choose between.
+	hotOwners := map[int]bool{0: true}
+	if o.hotWorkers > 1 {
+		chips := o.chips
+		if chips < 1 {
+			chips = 1
+		}
+		perChip := (o.workers + chips - 1) / chips
+		hotOwners = make(map[int]bool)
+		for k := 0; k < o.hotWorkers; k++ {
+			w := ((k%chips)*perChip + k/chips) % o.workers
+			hotOwners[w] = true
+		}
+	}
 	var hot []int
 	for g := 0; g < groups; g++ {
-		if ownerOf(g) == 0 {
+		if hotOwners[ownerOf(g)] {
 			hot = append(hot, g)
 		}
 	}

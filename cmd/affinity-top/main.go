@@ -175,6 +175,13 @@ func render(w io.Writer, addr string, cur, prev *sample, top, tailN int) {
 		fmt.Fprintf(w, "numa: cross-chip steals %.0f  cross-chip migrations %.0f  est steal cycles %.0f\n",
 			crossSteals, crossMigr, cur.val("affinity_steal_est_cycles_total"))
 	}
+	if iv := cur.val("affinity_migrate_interval_seconds"); iv > 0 {
+		fmt.Fprintf(w, "balance: interval %s  frozen groups %.0f (freezes %.0f, thaws %.0f)\n",
+			time.Duration(iv*float64(time.Second)).Round(time.Millisecond),
+			cur.val("affinity_frozen_groups"),
+			cur.val("affinity_group_freezes_total"),
+			cur.val("affinity_group_unfreezes_total"))
+	}
 	if prev != nil {
 		var servedRate, stealRate float64
 		for i := 0; i < workers; i++ {
@@ -188,12 +195,18 @@ func render(w io.Writer, addr string, cur, prev *sample, top, tailN int) {
 			rate(cur, prev, "affinity_requeued_total"))
 	}
 
-	fmt.Fprintf(w, "\n%-6s %4s %10s %10s %10s %7s %5s %9s\n",
-		"worker", "chip", "accepted", "local", "stolen", "qdepth", "busy", "local/s")
+	fmt.Fprintf(w, "\n%-6s %4s %4s %10s %10s %10s %7s %5s %9s\n",
+		"worker", "chip", "cpu", "accepted", "local", "stolen", "qdepth", "busy", "local/s")
 	for i := 0; i < workers; i++ {
 		busy := " "
 		if cur.worker("affinity_worker_busy", i) > 0 {
 			busy = "*"
+		}
+		// Presence-checked: val() reads 0 for absent series, which would
+		// render as a false pin to CPU 0 on servers without the gauge.
+		cpu := "-"
+		if v, ok := cur.series[fmt.Sprintf(`affinity_worker_pinned_cpu{worker="%d"}`, i)]; ok && v >= 0 {
+			cpu = strconv.Itoa(int(v))
 		}
 		perLocal := cur.series[fmt.Sprintf(`affinity_served_total{worker="%d",queue="local"}`, i)]
 		perStolen := cur.series[fmt.Sprintf(`affinity_served_total{worker="%d",queue="stolen"}`, i)]
@@ -201,8 +214,8 @@ func render(w io.Writer, addr string, cur, prev *sample, top, tailN int) {
 		if prev != nil {
 			localRate = rate(cur, prev, fmt.Sprintf(`affinity_served_total{worker="%d",queue="local"}`, i))
 		}
-		fmt.Fprintf(w, "%-6d %4.0f %10.0f %10.0f %10.0f %7.0f %5s %9.0f\n",
-			i, cur.worker("affinity_worker_chip", i),
+		fmt.Fprintf(w, "%-6d %4.0f %4s %10.0f %10.0f %10.0f %7.0f %5s %9.0f\n",
+			i, cur.worker("affinity_worker_chip", i), cpu,
 			cur.worker("affinity_accepted_total", i), perLocal, perStolen,
 			cur.worker("affinity_queue_depth", i), busy, localRate)
 	}

@@ -152,17 +152,20 @@ type Config struct {
 	// queueing, stealing, migration and transport-level admission
 	// (per-IP accept rate limiting, the connection budget with LIFO
 	// parked shedding) behave exactly as for a raw TCP server.
-	Backlog          int
-	StealRatio       int
-	HighPct, LowPct  float64
-	DisableReusePort bool
-	FlowGroups       int
-	MigrateInterval  time.Duration
-	DisableMigration bool
-	MaxConns         int
-	PerIPAcceptRate  float64
-	PerIPAcceptBurst int
-	Chips            int
+	Backlog              int
+	StealRatio           int
+	HighPct, LowPct      float64
+	DisableReusePort     bool
+	FlowGroups           int
+	MigrateInterval      time.Duration
+	DisableMigration     bool
+	MaxConns             int
+	PerIPAcceptRate      float64
+	PerIPAcceptBurst     int
+	Chips                int
+	DisableDistanceAware bool
+	AdaptiveMigration    bool
+	PinWorkers           bool
 }
 
 func (c *Config) fill() error {
@@ -291,25 +294,28 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.refreshDate()
 	srv, err := serve.New(serve.Config{
-		Network:          cfg.Network,
-		Addr:             cfg.Addr,
-		Workers:          cfg.Workers,
-		WorkerHandler:    s.serveConn,
-		Backlog:          cfg.Backlog,
-		StealRatio:       cfg.StealRatio,
-		HighPct:          cfg.HighPct,
-		LowPct:           cfg.LowPct,
-		DisableReusePort: cfg.DisableReusePort,
-		FlowGroups:       cfg.FlowGroups,
-		MigrateInterval:  cfg.MigrateInterval,
-		DisableMigration: cfg.DisableMigration,
-		MaxConns:         cfg.MaxConns,
-		PerIPAcceptRate:  cfg.PerIPAcceptRate,
-		PerIPAcceptBurst: cfg.PerIPAcceptBurst,
-		Chips:            cfg.Chips,
-		EventRingSize:    cfg.EventRingSize,
-		HistSubBits:      cfg.HistSubBits,
-		DisableObs:       cfg.DisableObs,
+		Network:              cfg.Network,
+		Addr:                 cfg.Addr,
+		Workers:              cfg.Workers,
+		WorkerHandler:        s.serveConn,
+		Backlog:              cfg.Backlog,
+		StealRatio:           cfg.StealRatio,
+		HighPct:              cfg.HighPct,
+		LowPct:               cfg.LowPct,
+		DisableReusePort:     cfg.DisableReusePort,
+		FlowGroups:           cfg.FlowGroups,
+		MigrateInterval:      cfg.MigrateInterval,
+		DisableMigration:     cfg.DisableMigration,
+		MaxConns:             cfg.MaxConns,
+		PerIPAcceptRate:      cfg.PerIPAcceptRate,
+		PerIPAcceptBurst:     cfg.PerIPAcceptBurst,
+		Chips:                cfg.Chips,
+		DisableDistanceAware: cfg.DisableDistanceAware,
+		AdaptiveMigration:    cfg.AdaptiveMigration,
+		PinWorkers:           cfg.PinWorkers,
+		EventRingSize:        cfg.EventRingSize,
+		HistSubBits:          cfg.HistSubBits,
+		DisableObs:           cfg.DisableObs,
 		WorkerPool: func(worker int) serve.PoolStats {
 			return s.arenas[worker].counters.Snapshot()
 		},

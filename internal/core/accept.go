@@ -51,6 +51,16 @@ type Config struct {
 	// StealRatio is the number of local accepts per remote accept on a
 	// non-busy core. Zero selects the paper default (5).
 	StealRatio int
+	// ChipOf maps a core to its chip, making the steal victim scan
+	// NUMA-distance-aware: victims are ordered by non-decreasing chip
+	// distance (same chip first, then chips one interconnect hop away,
+	// and so on — Table 1's remote latencies are between the chips
+	// farthest apart), with round-robin fairness preserved within each
+	// distance tier. The paper's 5:1 proportional share is untouched;
+	// only *which* busy victim a steal prefers changes. nil means a
+	// flat machine: every core equidistant, the original wraparound
+	// scan order.
+	ChipOf func(core int) int
 }
 
 func (c *Config) fill() {
@@ -110,8 +120,17 @@ func (r *ring[T]) len() int { return r.size }
 type perCore struct {
 	ewma       *stats.EWMA
 	sinceSteal int // local accepts since the last remote accept
-	cursor     int // round-robin victim scan position
 	stolenFrom []uint64
+
+	// order is the core's steal-scan order: every other core sorted by
+	// non-decreasing chip distance (see Config.ChipOf), ties broken by
+	// wraparound core number so a flat topology reproduces the original
+	// round-robin scan. tierEnd marks the exclusive end of each distance
+	// tier within order; cursor holds one rotation offset per tier so
+	// victims within a tier are still picked round-robin.
+	order   []int32
+	tierEnd []int32
+	cursor  []int32
 }
 
 // Queues implements Affinity-Accept's per-core accept queues and
@@ -155,10 +174,13 @@ func NewQueues[T any](cfg Config) *Queues[T] {
 	}
 	for i := range q.rings {
 		q.rings[i] = newRing[T](maxLocal)
+		order, tierEnd := victimOrder(i, cfg.Cores, cfg.ChipOf)
 		q.cores[i] = perCore{
 			ewma:       stats.NewQueueEWMA(maxLocal),
-			cursor:     (i + 1) % cfg.Cores,
 			stolenFrom: make([]uint64, cfg.Cores),
+			order:      order,
+			tierEnd:    tierEnd,
+			cursor:     make([]int32, len(tierEnd)),
 		}
 	}
 	return q
@@ -258,30 +280,39 @@ func (q *Queues[T]) popLocal(core int) (T, bool) {
 	return v, ok
 }
 
-// stealFrom scans busy cores round-robin starting one past the last
-// victim and steals the oldest connection from the first busy core with
-// queued work. Returns the victim core.
+// stealFrom scans busy cores in distance order — nearest tier first,
+// round-robin within a tier starting one past the last victim — and
+// steals the oldest connection from the first busy core with queued
+// work. A cross-chip victim is therefore chosen only when no same-chip
+// (or nearer-chip) core is stealable, keeping the stolen connection's
+// cache lines on the cheap side of Table 1's latency cliff. Returns the
+// victim core.
 func (q *Queues[T]) stealFrom(core int) (T, int, bool) {
 	var zero T
 	st := &q.cores[core]
-	n := q.cfg.Cores
-	for i := 0; i < n; i++ {
-		victim := (st.cursor + i) % n
-		if victim == core || !q.Busy(victim) {
-			continue
+	start := int32(0)
+	for t, end := range st.tierEnd {
+		size := end - start
+		cur := st.cursor[t]
+		for j := int32(0); j < size; j++ {
+			victim := int(st.order[start+(cur+j)%size])
+			if !q.Busy(victim) {
+				continue
+			}
+			q.maybeClearBusy(victim)
+			if !q.Busy(victim) {
+				continue
+			}
+			if v, ok := q.rings[victim].pop(); ok {
+				st.cursor[t] = (cur + j + 1) % size
+				st.stolenFrom[victim]++
+				st.sinceSteal = 0
+				q.Steals++
+				q.cores[victim].ewma.Observe(float64(q.rings[victim].len()))
+				return v, victim, true
+			}
 		}
-		q.maybeClearBusy(victim)
-		if !q.Busy(victim) {
-			continue
-		}
-		if v, ok := q.rings[victim].pop(); ok {
-			st.cursor = (victim + 1) % n
-			st.stolenFrom[victim]++
-			st.sinceSteal = 0
-			q.Steals++
-			q.cores[victim].ewma.Observe(float64(q.rings[victim].len()))
-			return v, victim, true
-		}
+		start = end
 	}
 	return zero, -1, false
 }
@@ -296,9 +327,8 @@ func (q *Queues[T]) stealFrom(core int) (T, int, bool) {
 // conservative policy reproduces the measured behaviour.)
 func (q *Queues[T]) scanRemote(core int) (T, int, bool) {
 	var zero T
-	n := q.cfg.Cores
-	for i := 1; i < n; i++ {
-		other := (core + i) % n
+	for _, o := range q.cores[core].order {
+		other := int(o)
 		if !q.Busy(other) {
 			continue
 		}

@@ -108,10 +108,15 @@ func (t *FlowTable) LoadOf(group int) uint64 { return t.load[group] }
 // load, or -1 when the victim owns none. With no load data (the
 // simulator never observes load) every group ties at zero and the
 // lowest-numbered group wins, matching the original arbitrary pick.
-func (t *FlowTable) hottestGroupOn(core int) int {
+// The optional groupOK veto excludes groups (the adaptive controller's
+// oscillation freeze); a vetoed group is skipped, not counted.
+func (t *FlowTable) hottestGroupOn(core int, groupOK func(group int) bool) int {
 	best, bestLoad := -1, uint64(0)
 	for g, c := range t.groupOf {
 		if int(c) != core {
+			continue
+		}
+		if groupOK != nil && !groupOK(g) {
 			continue
 		}
 		if best < 0 || t.load[g] > bestLoad {
@@ -136,6 +141,15 @@ func (t *FlowTable) decayLoads() {
 // stole nothing, is itself the top victim, or the victim has no groups
 // left.
 func (t *FlowTable) PickMigration(core int, stolenFrom []uint64) (group, victim int, ok bool) {
+	return t.PickMigrationFiltered(core, stolenFrom, nil)
+}
+
+// PickMigrationFiltered is PickMigration with a group veto: groups for
+// which groupOK returns false are never selected. The adaptive
+// controller passes its oscillation-freeze set here, so a ping-ponging
+// group sits out its cooldown while the victim's other groups remain
+// migratable.
+func (t *FlowTable) PickMigrationFiltered(core int, stolenFrom []uint64, groupOK func(group int) bool) (group, victim int, ok bool) {
 	best, bestCount := -1, uint64(0)
 	for v, n := range stolenFrom {
 		if v == core || n == 0 {
@@ -148,7 +162,7 @@ func (t *FlowTable) PickMigration(core int, stolenFrom []uint64) (group, victim 
 	if best < 0 {
 		return 0, -1, false
 	}
-	g := t.hottestGroupOn(best)
+	g := t.hottestGroupOn(best, groupOK)
 	if g < 0 {
 		return 0, -1, false
 	}
@@ -180,6 +194,13 @@ func Balance[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) in
 // empty accept queue (nothing reaches it) yet must not pull flow groups
 // to itself.
 func BalanceRecord[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool) []Migration {
+	return BalanceRecordFiltered(t, q, eligible, nil)
+}
+
+// BalanceRecordFiltered is BalanceRecord with a group veto: groups for
+// which groupOK returns false are never migrated this tick. The serve
+// package's adaptive controller passes its frozen-group set here.
+func BalanceRecordFiltered[T any](t *FlowTable, q *Queues[T], eligible func(core int) bool, groupOK func(group int) bool) []Migration {
 	var applied []Migration
 	for core := 0; core < q.Cores(); core++ {
 		q.maybeClearBusy(core)
@@ -191,7 +212,7 @@ func BalanceRecord[T any](t *FlowTable, q *Queues[T], eligible func(core int) bo
 			q.ResetSteals(core)
 			continue
 		}
-		if group, victim, ok := t.PickMigration(core, q.cores[core].stolenFrom); ok {
+		if group, victim, ok := t.PickMigrationFiltered(core, q.cores[core].stolenFrom, groupOK); ok {
 			t.Migrate(group, core)
 			applied = append(applied, Migration{Group: group, From: victim, To: core})
 		}

@@ -106,11 +106,19 @@ func (g *Guarded[T]) Balance(t *FlowTable) int {
 // the ordering cannot deadlock against acceptors (which take each lock
 // separately).
 func (g *Guarded[T]) BalanceTable(gt *GuardedFlowTable, eligible func(core int) bool) []Migration {
+	return g.BalanceTableFiltered(gt, eligible, nil)
+}
+
+// BalanceTableFiltered is BalanceTable with a group veto: groups for
+// which groupOK returns false sit the tick out (the adaptive
+// controller's oscillation freeze). groupOK is called with both locks
+// held and must not touch the balancer or the table.
+func (g *Guarded[T]) BalanceTableFiltered(gt *GuardedFlowTable, eligible func(core int) bool, groupOK func(group int) bool) []Migration {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	gt.mu.Lock()
 	defer gt.mu.Unlock()
-	return BalanceRecord(gt.t, g.q, eligible)
+	return BalanceRecordFiltered(gt.t, g.q, eligible, groupOK)
 }
 
 // Stats returns (pushes, locals, steals, drops).

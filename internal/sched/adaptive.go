@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"affinityaccept/internal/core"
+)
+
+// This file holds the adaptive migration controller: §3.3.2 fixes the
+// flow-group balancing interval at 100ms forever, which keeps paying
+// the migration-scan cost (and keeps perturbing the NIC steering table)
+// long after the workload has converged. The controller watches the
+// locality ratio — the share of connections accepted on their home core
+// versus stolen — and stretches the interval once stealing dies down,
+// snapping back to the aggressive base the moment locality degrades. A
+// per-group recent-owner ring catches groups that migrate back and
+// forth between two cores (two equally idle cores fighting over one hot
+// group) and freezes them for a cooldown, letting the rest of the table
+// keep balancing.
+//
+// The controller is pure and deterministic: it advances only when
+// Advance is called (one call per migration tick), takes all inputs as
+// arguments, and never reads the clock. That is what lets the
+// simulation harness replay it tick-for-tick on virtual time and the
+// serve package drive it from its migration goroutine unchanged.
+
+// ControllerConfig tunes the adaptive migration controller. Zero values
+// select the defaults listed on each field.
+type ControllerConfig struct {
+	// BaseInterval is the aggressive balancing interval used while the
+	// workload is still converging (default core.DefaultMigrateInterval).
+	BaseInterval time.Duration
+	// MaxInterval caps the backed-off interval (default 8×BaseInterval).
+	MaxInterval time.Duration
+	// AggressiveLocality: EWMA locality below this snaps the interval
+	// back to BaseInterval (default 0.90).
+	AggressiveLocality float64
+	// ConvergedLocality: EWMA locality at or above this counts the tick
+	// toward backing off (default 0.95). Ticks landing between the two
+	// thresholds hold the current interval (hysteresis).
+	ConvergedLocality float64
+	// ConvergedTicks is how many consecutive good ticks double the
+	// interval (default 3).
+	ConvergedTicks int
+	// Alpha is the locality EWMA weight for the newest tick (default 0.4).
+	Alpha float64
+	// RingSize is the per-group recent-owner ring capacity (default 4).
+	RingSize int
+	// PingPongWindow is the tick span within which an owner pattern
+	// [X, Y, X] counts as ping-ponging (default 6).
+	PingPongWindow int
+	// FreezeTicks is how many ticks a ping-ponging group sits out
+	// (default 8).
+	FreezeTicks int
+}
+
+func (c *ControllerConfig) fill() {
+	if c.BaseInterval <= 0 {
+		c.BaseInterval = core.DefaultMigrateInterval
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 8 * c.BaseInterval
+	}
+	if c.AggressiveLocality == 0 {
+		c.AggressiveLocality = 0.90
+	}
+	if c.ConvergedLocality == 0 {
+		c.ConvergedLocality = 0.95
+	}
+	if c.ConvergedTicks <= 0 {
+		c.ConvergedTicks = 3
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.4
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 4
+	}
+	if c.PingPongWindow <= 0 {
+		c.PingPongWindow = 6
+	}
+	if c.FreezeTicks <= 0 {
+		c.FreezeTicks = 8
+	}
+}
+
+// ownerAt is one recent-owner ring entry: group moved to Core at Tick.
+type ownerAt struct {
+	Core int
+	Tick int
+}
+
+// Report is what one Advance call decided.
+type Report struct {
+	// Interval is the balancing interval to use until the next tick.
+	Interval time.Duration
+	// Locality is the smoothed locality ratio after this tick.
+	Locality float64
+	// NewlyFrozen lists groups frozen this tick (ascending).
+	NewlyFrozen []int
+	// Unfrozen lists groups whose cooldown expired this tick (ascending).
+	Unfrozen []int
+	// Converged reports whether the interval is backed off past base.
+	Converged bool
+}
+
+// Controller is the adaptive migration controller. Not safe for
+// concurrent use; serve drives it from its single migration goroutine.
+type Controller struct {
+	cfg ControllerConfig
+
+	tick      int
+	interval  time.Duration
+	locality  float64
+	seen      bool
+	goodTicks int
+
+	rings  map[int][]ownerAt // group -> recent owners, newest last
+	frozen map[int]int       // group -> tick at which it thaws
+}
+
+// NewController builds a controller starting at the aggressive interval.
+func NewController(cfg ControllerConfig) *Controller {
+	cfg.fill()
+	return &Controller{
+		cfg:      cfg,
+		interval: cfg.BaseInterval,
+		rings:    make(map[int][]ownerAt),
+		frozen:   make(map[int]int),
+	}
+}
+
+// Interval reports the current balancing interval.
+func (c *Controller) Interval() time.Duration { return c.interval }
+
+// Locality reports the smoothed locality ratio (1.0 before any sample).
+func (c *Controller) Locality() float64 {
+	if !c.seen {
+		return 1.0
+	}
+	return c.locality
+}
+
+// FrozenCount reports how many groups are currently frozen.
+func (c *Controller) FrozenCount() int { return len(c.frozen) }
+
+// GroupOK is the veto the balancer consults: false while the group is
+// frozen. Pass it as groupOK to core.BalanceRecordFiltered.
+func (c *Controller) GroupOK(group int) bool {
+	_, frozen := c.frozen[group]
+	return !frozen
+}
+
+// Advance folds one migration tick into the controller: localDelta and
+// stolenDelta are the connections accepted locally and by stealing
+// since the previous tick, and moves are the migrations the balancer
+// just applied (with GroupOK as its veto). It returns the decisions for
+// the next interval.
+func (c *Controller) Advance(localDelta, stolenDelta uint64, moves []core.Migration) Report {
+	c.tick++
+	rep := Report{}
+
+	// Thaw groups whose cooldown expired, clearing their history so
+	// stale entries cannot re-freeze them on their next legitimate move.
+	for g, thaw := range c.frozen {
+		if c.tick >= thaw {
+			delete(c.frozen, g)
+			delete(c.rings, g)
+			rep.Unfrozen = append(rep.Unfrozen, g)
+		}
+	}
+	sort.Ints(rep.Unfrozen)
+
+	// Record this tick's moves and catch ping-pongs: a group whose last
+	// three owners read X, Y, X within the window is bouncing between
+	// two cores that each look like the better home from where they sit.
+	for _, m := range moves {
+		ring := append(c.rings[m.Group], ownerAt{Core: m.To, Tick: c.tick})
+		if len(ring) > c.cfg.RingSize {
+			ring = ring[len(ring)-c.cfg.RingSize:]
+		}
+		c.rings[m.Group] = ring
+		if n := len(ring); n >= 3 {
+			a, b, x := ring[n-3], ring[n-2], ring[n-1]
+			if a.Core == x.Core && a.Core != b.Core && x.Tick-a.Tick <= c.cfg.PingPongWindow {
+				if _, already := c.frozen[m.Group]; !already {
+					c.frozen[m.Group] = c.tick + c.cfg.FreezeTicks
+					rep.NewlyFrozen = append(rep.NewlyFrozen, m.Group)
+				}
+			}
+		}
+	}
+	sort.Ints(rep.NewlyFrozen)
+
+	// Fold the tick's locality sample into the EWMA. A tick with no
+	// accepts at all contributes no sample — an idle server is neither
+	// converged nor struggling.
+	total := localDelta + stolenDelta
+	if total > 0 {
+		sample := float64(localDelta) / float64(total)
+		if !c.seen {
+			c.locality, c.seen = sample, true
+		} else {
+			c.locality += c.cfg.Alpha * (sample - c.locality)
+		}
+	}
+
+	// Adapt the interval: migrations or degraded locality mean the
+	// workload is shifting — snap back to aggressive. Sustained high
+	// locality with a quiet balancer earns a doubling, up to the cap.
+	switch {
+	case len(moves) > 0 || (c.seen && c.locality < c.cfg.AggressiveLocality):
+		c.interval = c.cfg.BaseInterval
+		c.goodTicks = 0
+	case total == 0 || c.locality >= c.cfg.ConvergedLocality:
+		c.goodTicks++
+		if c.goodTicks >= c.cfg.ConvergedTicks && c.interval < c.cfg.MaxInterval {
+			c.interval *= 2
+			if c.interval > c.cfg.MaxInterval {
+				c.interval = c.cfg.MaxInterval
+			}
+			c.goodTicks = 0
+		}
+	}
+
+	rep.Interval = c.interval
+	rep.Locality = c.Locality()
+	rep.Converged = c.interval > c.cfg.BaseInterval
+	return rep
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"math/rand"
+
+	"affinityaccept/internal/sim"
+)
+
+// Topology is an explicit core→chip assignment for the simulation
+// harness. Unlike the regular cores-per-chip layout of the paper's
+// testbeds (Table 1), a Topology may be arbitrarily uneven — the shape
+// a pinned deployment gets when its cgroup mask hands it a ragged
+// subset of a machine.
+type Topology struct {
+	Chips int
+	// Chip maps each core (by index) to its chip number.
+	Chip []int
+}
+
+// Cores reports the number of cores in the topology.
+func (t Topology) Cores() int { return len(t.Chip) }
+
+// ChipOf returns the core→chip function the distance-aware steal path
+// consumes (core.Config.ChipOf).
+func (t Topology) ChipOf(core int) int { return t.Chip[core] }
+
+// SimConfig builds a sim.Config that places each simulated core on the
+// topology's chips.
+func (t Topology) SimConfig(seed int64) sim.Config {
+	chips := make([]int, len(t.Chip))
+	copy(chips, t.Chip)
+	return sim.Config{Cores: len(t.Chip), ChipOf: chips, Seed: seed}
+}
+
+// Regular builds the even layout of the paper's machines: cores filled
+// chip by chip, coresPerChip on each.
+func Regular(cores, chips int) Topology {
+	if chips <= 0 {
+		chips = 1
+	}
+	perChip := (cores + chips - 1) / chips
+	t := Topology{Chips: chips, Chip: make([]int, cores)}
+	for i := range t.Chip {
+		t.Chip[i] = i / perChip
+	}
+	return t
+}
+
+// RandomTopology draws a machine with 1–8 chips and an uneven worker
+// spread: every chip gets at least one core, the rest land at random.
+// The property and harness tests sweep these to show the invariants
+// hold on shapes no real SKU ships.
+func RandomTopology(rng *rand.Rand, cores int) Topology {
+	chips := 1 + rng.Intn(8)
+	if chips > cores {
+		chips = cores
+	}
+	t := Topology{Chips: chips, Chip: make([]int, cores)}
+	perm := rng.Perm(cores)
+	for i := 0; i < chips; i++ {
+		t.Chip[perm[i]] = i // every chip occupied
+	}
+	for i := chips; i < cores; i++ {
+		t.Chip[perm[i]] = rng.Intn(chips)
+	}
+	return t
+}

@@ -412,6 +412,22 @@ func (s *Server) WriteObsMetrics(w io.Writer) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		fmt.Fprintf(w, "affinity_worker_chip{worker=\"%d\"} %d\n", i, s.obs.machine.Chip(i))
 	}
+
+	// Adaptive migration: the controller's current interval and freeze
+	// state (the interval gauge reads MigrateInterval when the fixed
+	// ticker is in use, so dashboards need no mode branch).
+	fmt.Fprintf(w, "# HELP affinity_migrate_interval_seconds Current flow-group balancing interval (adaptive controller or fixed).\n# TYPE affinity_migrate_interval_seconds gauge\naffinity_migrate_interval_seconds %g\n",
+		time.Duration(s.migrateIntervalNs.Load()).Seconds())
+	fmt.Fprintf(w, "# HELP affinity_frozen_groups Flow groups currently frozen for ping-ponging between owners.\n# TYPE affinity_frozen_groups gauge\naffinity_frozen_groups %d\n",
+		s.frozenGroups.Load())
+	fmt.Fprintf(w, "# HELP affinity_group_freezes_total Flow groups frozen by the adaptive controller.\n# TYPE affinity_group_freezes_total counter\naffinity_group_freezes_total %d\n",
+		s.groupFreezes.Load())
+	fmt.Fprintf(w, "# HELP affinity_group_unfreezes_total Frozen flow groups thawed after their cooldown.\n# TYPE affinity_group_unfreezes_total counter\naffinity_group_unfreezes_total %d\n",
+		s.groupUnfreezes.Load())
+	fmt.Fprintf(w, "# HELP affinity_worker_pinned_cpu CPU each worker's thread is pinned to (-1 unpinned).\n# TYPE affinity_worker_pinned_cpu gauge\n")
+	for i := range s.workers {
+		fmt.Fprintf(w, "affinity_worker_pinned_cpu{worker=\"%d\"} %d\n", i, s.workers[i].pinnedCPU.Load())
+	}
 }
 
 // remotePort extracts a connection's remote TCP port for event

@@ -1,0 +1,53 @@
+//go:build linux
+
+package serve
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// cpuSetWords sizes the affinity mask at 1024 CPUs — the kernel's
+// historical CPU_SETSIZE, comfortably above any machine this runs on.
+const cpuSetWords = 16
+
+// setThreadAffinity pins the calling OS thread (the caller must hold
+// runtime.LockOSThread) to the single CPU `cpu` via sched_setaffinity.
+// A raw syscall keeps the dependency surface at zero; pid 0 means "this
+// thread". EPERM/EINVAL — cgroup cpuset restrictions, offline CPUs —
+// come back as errors for the caller's graceful-degradation path.
+func setThreadAffinity(cpu int) error {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return syscall.EINVAL
+	}
+	var mask [cpuSetWords]uint64
+	mask[cpu/64] = 1 << (cpu % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// threadAffinity reports the calling thread's current CPU mask as a
+// sorted CPU list (sched_getaffinity). The pinning smoke test reads it
+// from inside a worker's handler to prove the mask really took.
+func threadAffinity() ([]int, error) {
+	var mask [cpuSetWords]uint64
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return nil, errno
+	}
+	var cpus []int
+	for w, bits := range mask {
+		for b := 0; bits != 0; b++ {
+			if bits&(1<<b) != 0 {
+				cpus = append(cpus, w*64+b)
+				bits &^= 1 << b
+			}
+		}
+	}
+	return cpus, nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package serve
+
+import "errors"
+
+// errPinUnsupported is returned on platforms without sched_setaffinity.
+// Config.PinWorkers degrades to a no-op: workers run unpinned and
+// PinnedCPU reports -1, with every policy identical to the Linux path.
+var errPinUnsupported = errors.New("serve: worker pinning is not supported on this platform")
+
+func setThreadAffinity(int) error { return errPinUnsupported }
+
+func threadAffinity() ([]int, error) { return nil, errPinUnsupported }

@@ -50,6 +50,7 @@ import (
 	"affinityaccept/internal/core"
 	"affinityaccept/internal/evloop"
 	"affinityaccept/internal/obs"
+	"affinityaccept/internal/sched"
 )
 
 // Handler serves one accepted connection. The handler owns the
@@ -107,6 +108,14 @@ type Config struct {
 	// stealing as the only balancing mechanism (the paper's §3.3.1-only
 	// configuration; useful for A/B comparison).
 	DisableMigration bool
+	// AdaptiveMigration replaces the fixed MigrateInterval ticker with
+	// the internal/sched controller: the interval starts at
+	// MigrateInterval and doubles (up to 8x) while the per-tick locality
+	// ratio stays converged, snapping back the moment migrations fire or
+	// locality degrades; flow groups caught ping-ponging between two
+	// owners are frozen for a cooldown so the rest of the table keeps
+	// balancing. Ignored when DisableMigration is set.
+	AdaptiveMigration bool
 
 	// MaxConns, when positive, is the server's connection budget: the
 	// maximum number of accepted connections (plus descriptors charged
@@ -164,9 +173,25 @@ type Config struct {
 	// internal/mem's Machine.Chip), and a hop whose two workers land on
 	// different chips is counted cross-chip at the paper's Table 1
 	// RemoteL3 latency instead of L3. 0 or 1 means a flat single-chip
-	// machine — every hop same-chip. Purely an accounting model: it does
-	// not pin threads or change any placement policy.
+	// machine — every hop same-chip. With Chips > 1 the same topology
+	// also orders the steal path (see DisableDistanceAware); the
+	// accounting model and the policy always agree on who is remote.
 	Chips int
+	// DisableDistanceAware drops the topology from the steal path: with
+	// Chips > 1 the balancer normally scans victims in non-decreasing
+	// chip-distance order (same-chip victims first, round-robin within
+	// each distance tier); disabling reverts to the paper's flat
+	// wraparound scan while keeping the cross-chip *accounting*. The
+	// ablation arm of the distance-aware A/B.
+	DisableDistanceAware bool
+	// PinWorkers pins each worker goroutine's OS thread to CPU
+	// worker%NumCPU via sched_setaffinity (Linux; a no-op that reports
+	// unpinned elsewhere), so the serve worker really is the paper's
+	// "one core" and the Chips topology can describe physical placement.
+	// Pinning failures (cgroup cpuset restrictions, exotic sandboxes)
+	// degrade gracefully: the worker runs unpinned and PinnedCPU
+	// reports -1.
+	PinWorkers bool
 }
 
 func (c *Config) fill() error {
@@ -276,6 +301,19 @@ type Server struct {
 	budgetRejected atomic.Uint64 // conns rejected because the budget was exhausted and nothing was parked
 	acceptRetries  atomic.Uint64 // transient accept errors survived (EMFILE/ENFILE/ECONNABORTED)
 
+	// ctl is the adaptive migration controller (Config.AdaptiveMigration;
+	// nil = fixed-interval ticker). Only the balance path touches it; the
+	// atomics below republish its decisions for Stats and /metrics.
+	ctl               *sched.Controller
+	ctlLocals         uint64       // accept deltas fed to ctl (balance path only)
+	ctlSteals         uint64       //
+	migrateIntervalNs atomic.Int64 // current balancing interval
+	frozenGroups      atomic.Int64 // groups currently frozen
+	groupFreezes      atomic.Uint64
+	groupUnfreezes    atomic.Uint64
+
+	pinFailures atomic.Uint64 // workers that asked to pin but could not
+
 	// obs is the observability plane: event rings and serve-layer
 	// histograms. nil when Config.DisableObs is set — every hook
 	// nil-checks, so disabling removes even the timestamp reads.
@@ -289,6 +327,7 @@ type workerState struct {
 	servedStolen atomic.Uint64 // served by this worker from another queue
 	active       atomic.Int64  // handlers currently running on this worker
 	migratedIn   atomic.Uint64 // flow groups this worker claimed via §3.3.2
+	pinnedCPU    atomic.Int64  // CPU the worker's thread is pinned to, -1 unpinned
 }
 
 // New creates a Server and binds its listeners; the returned server is
@@ -322,13 +361,29 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.handler = func(_ int, conn net.Conn) { cfg.Handler(conn) }
 	}
-	s.bal = core.NewGuarded[net.Conn](core.Config{
+	bcfg := core.Config{
 		Cores:      cfg.Workers,
 		Backlog:    cfg.Backlog,
 		StealRatio: cfg.StealRatio,
 		HighPct:    cfg.HighPct,
 		LowPct:     cfg.LowPct,
-	})
+	}
+	if cfg.Chips > 1 && !cfg.DisableDistanceAware {
+		// Distance-aware stealing: the balancer scans victims in chip
+		// order under the same contiguous worker→chip layout the obs
+		// attribution prices (worker w on chip w/perChip), independent
+		// of DisableObs so the policy works without the metrics plane.
+		perChip := (cfg.Workers + cfg.Chips - 1) / cfg.Chips
+		bcfg.ChipOf = func(w int) int { return w / perChip }
+	}
+	s.bal = core.NewGuarded[net.Conn](bcfg)
+	if cfg.AdaptiveMigration && !cfg.DisableMigration {
+		s.ctl = sched.NewController(sched.ControllerConfig{BaseInterval: cfg.MigrateInterval})
+	}
+	s.migrateIntervalNs.Store(int64(cfg.MigrateInterval))
+	for i := range s.workers {
+		s.workers[i].pinnedCPU.Store(-1)
+	}
 	if err := s.listen(); err != nil {
 		return nil, err
 	}
@@ -387,6 +442,18 @@ func (s *Server) FlowGroups() int { return s.flow.Groups() }
 // port hashes into — the queue a connection from that port would be
 // routed to right now.
 func (s *Server) OwnerOf(remotePort uint16) int { return s.flow.CoreForPort(remotePort) }
+
+// PinnedCPU reports the CPU the given worker's OS thread is pinned to
+// under Config.PinWorkers, or -1 when the worker is unpinned (pinning
+// off, unsupported platform, or a restricted CPU mask). A worker pins
+// itself as its loop starts, so immediately after Start this may
+// briefly read -1.
+func (s *Server) PinnedCPU(worker int) int {
+	if worker < 0 || worker >= len(s.workers) {
+		return -1
+	}
+	return int(s.workers[worker].pinnedCPU.Load())
+}
 
 // Parked reports how many requeued connections are currently waiting
 // for their next request bytes on the workers' event loops. Long-lived-
@@ -519,18 +586,21 @@ func (s *Server) acceptLoop(idx int, l net.Listener) {
 	}
 }
 
-// migrateLoop runs the §3.3.2 balancing tick every MigrateInterval
-// until shutdown: each non-busy worker claims the hottest flow group of
-// the victim it stole from most, so that group's future connections —
-// and requeued keep-alive passes — become local.
+// migrateLoop runs the §3.3.2 balancing tick until shutdown: each
+// non-busy worker claims the hottest flow group of the victim it stole
+// from most, so that group's future connections — and requeued
+// keep-alive passes — become local. With AdaptiveMigration the
+// controller re-arms the timer with whatever interval it chose after
+// each tick; otherwise the interval is the fixed MigrateInterval.
 func (s *Server) migrateLoop() {
 	defer s.workerWG.Done()
-	ticker := time.NewTicker(s.cfg.MigrateInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(s.cfg.MigrateInterval)
+	defer timer.Stop()
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C:
 			s.balanceOnce()
+			timer.Reset(time.Duration(s.migrateIntervalNs.Load()))
 		case <-s.drainCh:
 			return
 		}
@@ -541,13 +611,21 @@ func (s *Server) migrateLoop() {
 // group to its new owner. Tests drive it directly for determinism.
 // Every applied move lands on the control event ring — migrations are
 // the decisions a "why did this flow move" question needs, and the
-// control ring guarantees park/wake churn can't evict them.
+// control ring guarantees park/wake churn can't evict them. Under
+// AdaptiveMigration the tick also advances the controller: frozen
+// groups sit the tick out via the GroupOK veto, freeze/thaw decisions
+// land on the control ring, and the next interval is republished for
+// the migrate loop and Stats.
 func (s *Server) balanceOnce() int {
 	var t0 int64
 	if s.obs != nil {
 		t0 = obs.Nanos()
 	}
-	moves := s.bal.BalanceTable(s.flow, nil)
+	var groupOK func(int) bool
+	if s.ctl != nil {
+		groupOK = s.ctl.GroupOK
+	}
+	moves := s.bal.BalanceTableFiltered(s.flow, nil, groupOK)
 	for _, m := range moves {
 		s.workers[m.To].migratedIn.Add(1)
 		if s.obs != nil {
@@ -555,10 +633,33 @@ func (s *Server) balanceOnce() int {
 		}
 		s.recordControl(m.To, obs.KindMigrate, m.Group, int64(m.Group), int64(m.From), int64(m.To))
 	}
+	if s.ctl != nil {
+		s.advanceController(moves)
+	}
 	if s.obs != nil {
 		s.obs.migrate.Record(obs.Nanos() - t0)
 	}
 	return len(moves)
+}
+
+// advanceController feeds one tick's accept deltas and applied moves to
+// the adaptive controller and republishes its decisions. Only the
+// balance path calls it (the migrate loop, or tests driving balanceOnce
+// directly), matching the controller's single-caller contract.
+func (s *Server) advanceController(moves []core.Migration) {
+	_, locals, steals, _ := s.bal.Stats()
+	rep := s.ctl.Advance(locals-s.ctlLocals, steals-s.ctlSteals, moves)
+	s.ctlLocals, s.ctlSteals = locals, steals
+	for _, g := range rep.NewlyFrozen {
+		s.groupFreezes.Add(1)
+		s.recordControl(0, obs.KindFreeze, g, int64(g), 0, 0)
+	}
+	for _, g := range rep.Unfrozen {
+		s.groupUnfreezes.Add(1)
+		s.recordControl(0, obs.KindUnfreeze, g, int64(g), 0, 0)
+	}
+	s.frozenGroups.Store(int64(s.ctl.FrozenCount()))
+	s.migrateIntervalNs.Store(int64(rep.Interval))
 }
 
 // idleSamplePeriod is the virtual sampling interval an idle worker's
@@ -577,6 +678,21 @@ const idleSamplePeriod = 10 * time.Microsecond
 func (s *Server) workerLoop(worker int) {
 	defer s.workerWG.Done()
 	st := &s.workers[worker]
+	if s.cfg.PinWorkers {
+		// Pin this worker's OS thread to its CPU. LockOSThread first so
+		// the affinity call binds the thread this goroutine will keep;
+		// on failure (non-Linux, cgroup cpuset restrictions) release the
+		// thread and run unpinned — the policy layers never depend on
+		// pinning, only the placement fidelity does.
+		runtime.LockOSThread()
+		cpu := worker % runtime.NumCPU()
+		if err := setThreadAffinity(cpu); err != nil {
+			s.pinFailures.Add(1)
+			runtime.UnlockOSThread()
+		} else {
+			st.pinnedCPU.Store(int64(cpu))
+		}
+	}
 	var idleMark time.Time // start of the unobserved idle stretch
 	// One reusable timer per worker for the idle re-poll: time.After in
 	// this loop would allocate a timer per poll, and an idle worker
@@ -730,7 +846,15 @@ func (s *Server) Stats() Stats {
 		stealM = s.StealMatrix()
 		st.CrossChipSteals = stealM.CrossChip
 		st.CrossChipMigrations = s.MigrateMatrix().CrossChip
+		st.StealEstCycles = stealM.EstCycles
 	}
+	if s.ctl != nil {
+		st.AdaptiveInterval = time.Duration(s.migrateIntervalNs.Load())
+		st.FrozenGroups = s.frozenGroups.Load()
+		st.GroupFreezes = s.groupFreezes.Load()
+		st.GroupUnfreezes = s.groupUnfreezes.Load()
+	}
+	st.PinFailures = s.pinFailures.Load()
 	for i := range st.Workers {
 		w := &s.workers[i]
 		st.Workers[i] = WorkerStats{
@@ -738,6 +862,7 @@ func (s *Server) Stats() Stats {
 			Accepted:     w.accepted.Load(),
 			ServedLocal:  w.servedLocal.Load(),
 			ServedStolen: w.servedStolen.Load(),
+			PinnedCPU:    int(w.pinnedCPU.Load()),
 			Active:       w.active.Load(),
 			QueueDepth:   s.bal.Len(i),
 			Busy:         s.bal.Busy(i),
@@ -766,6 +891,9 @@ func (s *Server) Stats() Stats {
 		st.Accepted += st.Workers[i].Accepted
 		st.Queued += st.Workers[i].QueueDepth
 		st.Active += st.Workers[i].Active
+		if st.Workers[i].PinnedCPU >= 0 {
+			st.PinnedWorkers++
+		}
 	}
 	return st
 }

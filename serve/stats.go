@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"affinityaccept/internal/stats"
 )
@@ -28,6 +30,9 @@ type WorkerStats struct {
 	// Chip is which chip of the configured topology (Config.Chips) this
 	// worker maps to — 0 on a flat machine.
 	Chip int
+	// PinnedCPU is the CPU this worker's OS thread is pinned to under
+	// Config.PinWorkers, -1 when unpinned.
+	PinnedCPU int
 	// StolenCross counts the subset of ServedStolen whose victim lived
 	// on a different chip — the steals the attribution pass prices at
 	// Table 1's RemoteL3 latency instead of L3.
@@ -87,6 +92,25 @@ type Stats struct {
 	Chips               int
 	CrossChipSteals     uint64
 	CrossChipMigrations uint64
+	// StealEstCycles prices every steal at the topology's Table 1
+	// line-transfer latency (L3 same-chip, RemoteL3 cross-chip) — the
+	// counter the distance-aware steal path exists to shrink.
+	StealEstCycles uint64
+	// AdaptiveInterval is the migration controller's current balancing
+	// interval (zero unless Config.AdaptiveMigration): MigrateInterval
+	// while converging, backed off up to 8x once locality converges.
+	AdaptiveInterval time.Duration
+	// FrozenGroups is how many flow groups the controller currently has
+	// frozen for ping-ponging; GroupFreezes/GroupUnfreezes count the
+	// transitions.
+	FrozenGroups   int64
+	GroupFreezes   uint64
+	GroupUnfreezes uint64
+	// PinnedWorkers counts workers whose threads are pinned to a CPU;
+	// PinFailures counts workers that asked to pin but could not
+	// (restricted cpuset, unsupported platform).
+	PinnedWorkers int
+	PinFailures   uint64
 	// Parked is the instantaneous number of connections waiting between
 	// requeue passes — the held-open population of a long-lived
 	// workload. Parked connections live on the per-worker event loops
@@ -161,8 +185,15 @@ func (s Stats) String() string {
 			s.Ratelimited, s.ShedParked, s.BudgetRejected, s.AcceptRetries, s.Live, s.LivePeak, s.MaxConns)
 	}
 	if s.Chips > 1 {
-		fmt.Fprintf(&b, "numa: %d chips  cross-chip steals %d  cross-chip migrations %d\n",
-			s.Chips, s.CrossChipSteals, s.CrossChipMigrations)
+		fmt.Fprintf(&b, "numa: %d chips  cross-chip steals %d  cross-chip migrations %d  est steal cycles %d\n",
+			s.Chips, s.CrossChipSteals, s.CrossChipMigrations, s.StealEstCycles)
+	}
+	if s.AdaptiveInterval > 0 {
+		fmt.Fprintf(&b, "adaptive: interval %s  frozen groups %d (freezes %d, thaws %d)\n",
+			s.AdaptiveInterval, s.FrozenGroups, s.GroupFreezes, s.GroupUnfreezes)
+	}
+	if s.PinnedWorkers > 0 || s.PinFailures > 0 {
+		fmt.Fprintf(&b, "pinning: %d workers pinned, %d failed\n", s.PinnedWorkers, s.PinFailures)
 	}
 	pools := s.Pool.Gets() > 0
 	if pools {
@@ -180,13 +211,13 @@ func (s Stats) String() string {
 	// drift however wide the numbers get. TestStatsStringGolden pins
 	// the alignment.
 	const (
-		statsHeaderFmt = "%-6s %4s %11s %11s %11s %8s %7s %7s %8s %7s %8s %8s %5s"
-		statsRowFmt    = "%-6d %4d %11d %11d %11d %8d %7d %7d %8d %7d %8d %8d %5s"
+		statsHeaderFmt = "%-6s %4s %4s %11s %11s %11s %8s %7s %7s %8s %7s %8s %8s %5s"
+		statsRowFmt    = "%-6d %4d %4s %11d %11d %11d %8d %7d %7d %8d %7d %8d %8d %5s"
 		poolHeaderFmt  = " %10s %7s"
 		poolRowFmt     = " %10d %7.1f"
 	)
 	fmt.Fprintf(&b, statsHeaderFmt,
-		"worker", "chip", "accepted", "local", "stolen", "x-steal", "active", "qdepth", "parked", "groups", "migr-in", "lag-us", "busy")
+		"worker", "chip", "cpu", "accepted", "local", "stolen", "x-steal", "active", "qdepth", "parked", "groups", "migr-in", "lag-us", "busy")
 	if pools {
 		fmt.Fprintf(&b, poolHeaderFmt, "pool-get", "reuse%")
 	}
@@ -199,8 +230,12 @@ func (s Stats) String() string {
 		if w.Busy {
 			busy = "*"
 		}
+		cpu := "-"
+		if w.PinnedCPU >= 0 {
+			cpu = strconv.Itoa(w.PinnedCPU)
+		}
 		fmt.Fprintf(&b, statsRowFmt,
-			w.Worker, w.Chip, w.Accepted, w.ServedLocal, w.ServedStolen, w.StolenCross, w.Active, w.QueueDepth,
+			w.Worker, w.Chip, cpu, w.Accepted, w.ServedLocal, w.ServedStolen, w.StolenCross, w.Active, w.QueueDepth,
 			w.Parked, w.GroupsOwned, w.MigratedIn, w.ClockLagUs, busy)
 		if pools {
 			fmt.Fprintf(&b, poolRowFmt, w.Pool.Gets(), w.Pool.ReusePct())

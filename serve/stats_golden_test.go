@@ -1,6 +1,9 @@
 package serve
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestStatsStringGolden pins the exact rendering of the stats table —
 // header/row alignment included — against a fixture wide enough to
@@ -34,13 +37,22 @@ func TestStatsStringGolden(t *testing.T) {
 		Chips:               2,
 		CrossChipSteals:     12345678,
 		CrossChipMigrations: 617,
+		StealEstCycles:      5679012345678,
+
+		AdaptiveInterval: 400 * time.Millisecond,
+		FrozenGroups:     2,
+		GroupFreezes:     9,
+		GroupUnfreezes:   7,
+
+		PinnedWorkers: 1,
+		PinFailures:   1,
 
 		Pool:     PoolStats{Reuses: 999, Misses: 1, Drops: 3},
 		Upstream: PoolStats{Reuses: 75, Misses: 25, Drops: 2},
 
 		Workers: []WorkerStats{
 			{
-				Worker: 0, Chip: 0, Accepted: 12345678901, ServedLocal: 21000000000,
+				Worker: 0, Chip: 0, PinnedCPU: 0, Accepted: 12345678901, ServedLocal: 21000000000,
 				ServedStolen: 2456789012, StolenCross: 12345678, Active: 32, QueueDepth: 3,
 				Parked: 12345678, GroupsOwned: 256, MigratedIn: 617,
 				ClockLagUs: 49021, Busy: true,
@@ -48,7 +60,7 @@ func TestStatsStringGolden(t *testing.T) {
 				Upstream: PoolStats{Reuses: 75, Misses: 25},
 			},
 			{
-				Worker: 1, Chip: 1, GroupsOwned: 256,
+				Worker: 1, Chip: 1, PinnedCPU: -1, GroupsOwned: 256,
 			},
 		},
 	}
@@ -57,25 +69,27 @@ func TestStatsStringGolden(t *testing.T) {
 		"mode: SO_REUSEPORT per-worker listeners, 512 flow groups\n" +
 		"accepted 12345678901  served 23456789012 (89.5% local)  stolen 2456789012  dropped 42  requeued 9876543210  parked 1000000  migrations 1234  queued 7  active 64\n" +
 		"admission: ratelimited 5  shed-parked 6  budget-rejected 7  accept-retries 8  live 900000 (peak 1000000 / budget 1048576)\n" +
-		"numa: 2 chips  cross-chip steals 12345678  cross-chip migrations 617\n" +
+		"numa: 2 chips  cross-chip steals 12345678  cross-chip migrations 617  est steal cycles 5679012345678\n" +
+		"adaptive: interval 400ms  frozen groups 2 (freezes 9, thaws 7)\n" +
+		"pinning: 1 workers pinned, 1 failed\n" +
 		"pools: 1000 gets, 99.9% reused from the worker-local free list (1 misses, 3 drops)\n" +
 		"upstream: 100 checkouts, 75.0% reused from the worker-local pool (25 dials, 2 drops)\n" +
-		"worker chip    accepted       local      stolen  x-steal  active  qdepth   parked  groups  migr-in   lag-us  busy   pool-get  reuse%     up-get  up-re%\n" +
-		"0         0 12345678901 21000000000  2456789012 12345678      32       3 12345678     256      617    49021     *       1000    99.9        100    75.0\n" +
-		"1         1           0           0           0        0       0       0        0     256        0        0                0   100.0          0   100.0\n"
+		"worker chip  cpu    accepted       local      stolen  x-steal  active  qdepth   parked  groups  migr-in   lag-us  busy   pool-get  reuse%     up-get  up-re%\n" +
+		"0         0    0 12345678901 21000000000  2456789012 12345678      32       3 12345678     256      617    49021     *       1000    99.9        100    75.0\n" +
+		"1         1    -           0           0           0        0       0       0        0     256        0        0                0   100.0          0   100.0\n"
 
 	if got := st.String(); got != want {
 		t.Errorf("stats rendering drifted from the golden:\ngot:\n%s\nwant:\n%s\ngot %q", got, want, got)
 	}
 
-	// A minimal snapshot (no pools, no admission knobs) must render only
-	// the core table.
-	bare := Stats{FlowGroups: 8, Workers: []WorkerStats{{Worker: 0, GroupsOwned: 8}}}
+	// A minimal snapshot (no pools, no admission knobs, no adaptive
+	// controller, unpinned workers) must render only the core table.
+	bare := Stats{FlowGroups: 8, Workers: []WorkerStats{{Worker: 0, PinnedCPU: -1, GroupsOwned: 8}}}
 	const wantBare = "" +
 		"mode: shared listener, 8 flow groups\n" +
 		"accepted 0  served 0 (100.0% local)  stolen 0  dropped 0  requeued 0  parked 0  migrations 0  queued 0  active 0\n" +
-		"worker chip    accepted       local      stolen  x-steal  active  qdepth   parked  groups  migr-in   lag-us  busy\n" +
-		"0         0           0           0           0        0       0       0        0       8        0        0      \n"
+		"worker chip  cpu    accepted       local      stolen  x-steal  active  qdepth   parked  groups  migr-in   lag-us  busy\n" +
+		"0         0    -           0           0           0        0       0       0        0       8        0        0      \n"
 	if got := bare.String(); got != wantBare {
 		t.Errorf("bare stats rendering drifted:\ngot:\n%s\nwant:\n%s\ngot %q", got, wantBare, got)
 	}
